@@ -1,0 +1,77 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each ``bench_*`` file regenerates one table or figure of the paper: it
+computes the experiment, prints the same rows/series the paper reports
+(run pytest with ``-s`` to see them live; they are also attached to the
+pytest-benchmark JSON via ``extra_info``), and times one representative
+unit of work through the ``benchmark`` fixture.
+
+Datasets and recall curves are cached at module level so that, e.g., the
+Figure 9 and Figure 10 benches (which aggregate the same runs) do not
+recompute everything within a single pytest session.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.datasets.base import Dataset
+from repro.datasets.registry import load_dataset
+from repro.evaluation.progressive_recall import RecallCurve, run_progressive
+from repro.progressive.base import ProgressiveMethod, build_method
+
+# Scales used by the benches (laptop-scale; recorded in EXPERIMENTS.md).
+BENCH_SCALES: dict[str, float] = {
+    "census": 1.0,
+    "restaurant": 1.0,
+    "cora": 1.0,
+    "cddb": 0.5,
+    "movies": 0.04,
+    "dbpedia": 0.002,
+    "freebase": 0.001,
+}
+
+STRUCTURED = ("census", "restaurant", "cora", "cddb")
+HETEROGENEOUS = ("movies", "dbpedia", "freebase")
+
+# Display order of methods, as in the paper's figures.
+STRUCTURED_METHODS = ("PSN", "SA-PSN", "SA-PSAB", "LS-PSN", "GS-PSN", "PBS", "PPS")
+HETEROGENEOUS_METHODS = ("SA-PSN", "SA-PSAB", "LS-PSN", "GS-PSN", "PBS", "PPS")
+
+# The paper's GS-PSN setting is w_max=20 (structured) / 200 (large).  At
+# our 100x-reduced scale, 20 plays the same role for the large datasets;
+# EXPERIMENTS.md documents the deviation.
+GSPSN_WMAX = {"structured": 20, "heterogeneous": 20}
+
+
+@lru_cache(maxsize=None)
+def dataset(name: str) -> Dataset:
+    """The bench-scale dataset (cached per session)."""
+    return load_dataset(name, scale=BENCH_SCALES[name])
+
+
+def make_method(name: str, data: Dataset) -> ProgressiveMethod:
+    """Instantiate a method with the paper's per-experiment settings."""
+    if name == "PSN":
+        if data.psn_key is None:
+            raise ValueError(f"{data.name} has no schema-based PSN key")
+        return build_method("PSN", data.store, key_function=data.psn_key)
+    if name == "GS-PSN":
+        family = "structured" if data.name in STRUCTURED else "heterogeneous"
+        return build_method("GSPSN", data.store, max_window=GSPSN_WMAX[family])
+    return build_method(name.replace("-", ""), data.store)
+
+
+@lru_cache(maxsize=None)
+def curve(dataset_name: str, method_name: str, max_ec_star: float) -> RecallCurve:
+    """A cached progressive run (ground-truth match decisions)."""
+    data = dataset(dataset_name)
+    method = make_method(method_name, data)
+    return run_progressive(
+        method, data.ground_truth, max_ec_star=max_ec_star, dataset=dataset_name
+    )
+
+
+def emit(text: str) -> None:
+    """Print a bench report block (visible with ``pytest -s``)."""
+    print(f"\n{text}\n", flush=True)

@@ -1,0 +1,54 @@
+"""Ablation A1 - Blocking Graph weighting scheme for PBS and PPS.
+
+The paper fixes ARCS for all equality-based experiments (Section 7,
+"Parameter configuration").  This ablation sweeps the other Meta-blocking
+schemes (CBS, ECBS, JS) on movies to quantify how much of PBS/PPS's
+progressiveness is owed to the scheme choice.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._shared import dataset, emit
+from repro.evaluation.progressive_recall import run_progressive
+from repro.evaluation.report import format_table
+from repro.progressive.base import build_method
+
+SCHEMES = ("ARCS", "CBS", "ECBS", "JS")
+MAX_EC = 10.0
+
+
+def compute_rows(method_name: str) -> list[list[object]]:
+    data = dataset("movies")
+    rows = []
+    for scheme in SCHEMES:
+        method = build_method(method_name, data.store, weighting=scheme)
+        curve = run_progressive(method, data.ground_truth, max_ec_star=MAX_EC)
+        rows.append(
+            [
+                scheme,
+                f"{curve.recall_at(1):.3f}",
+                f"{curve.recall_at(10):.3f}",
+                f"{curve.normalized_auc_at(10):.3f}",
+            ]
+        )
+    return rows
+
+
+@pytest.mark.parametrize("method_name", ("PBS", "PPS"))
+def bench_ablation_weighting_scheme(benchmark, method_name):
+    rows = benchmark.pedantic(
+        compute_rows, args=(method_name,), rounds=1, iterations=1
+    )
+    table = format_table(
+        ["scheme", "recall@1", "recall@10", "AUC*@10"],
+        rows,
+        title=f"Ablation A1 ({method_name} on movies): weighting scheme sweep",
+    )
+    emit(table)
+    benchmark.extra_info["rows"] = rows
+
+    auc = {row[0]: float(row[3]) for row in rows}
+    # ARCS (the paper's default) should be competitive with every scheme.
+    assert auc["ARCS"] >= 0.8 * max(auc.values())

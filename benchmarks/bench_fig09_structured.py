@@ -1,0 +1,48 @@
+"""Figure 9 - recall progressiveness over the structured datasets.
+
+For each of census/restaurant/cora/cddb, prints the recall of all seven
+methods (schema-based PSN + six schema-agnostic) at the ec* grid the
+paper plots, up to ec* = 30 with emphasis on the early [0, 10] phase.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._shared import STRUCTURED, STRUCTURED_METHODS, curve, emit
+from repro.evaluation.report import format_table, sparkline
+
+EC_GRID = (0.5, 1, 2, 5, 10, 20, 30)
+MAX_EC = 30.0
+
+
+def compute_dataset(name: str) -> list[list[object]]:
+    rows = []
+    for method_name in STRUCTURED_METHODS:
+        c = curve(name, method_name, MAX_EC)
+        recalls = [c.recall_at(x) for x in EC_GRID]
+        dense = [c.recall_at(x / 4) for x in range(1, 4 * 30 + 1)]
+        rows.append(
+            [method_name]
+            + [f"{r:.3f}" for r in recalls]
+            + [sparkline(dense, 30)]
+        )
+    return rows
+
+
+@pytest.mark.parametrize("name", STRUCTURED)
+def bench_fig09_recall_progressiveness(benchmark, name):
+    rows = benchmark.pedantic(compute_dataset, args=(name,), rounds=1, iterations=1)
+    table = format_table(
+        ["method"] + [f"r@{x:g}" for x in EC_GRID] + ["recall curve (0..30)"],
+        rows,
+        title=f"Figure 9 ({name}): recall vs normalized comparisons ec*",
+    )
+    emit(table)
+    benchmark.extra_info["rows"] = rows
+
+    by_method = {row[0]: row for row in rows}
+    ec10 = EC_GRID.index(10) + 1
+    # Advanced methods dominate the naive SA-PSN at ec* = 10 (Section 7.1).
+    for advanced in ("LS-PSN", "GS-PSN", "PBS", "PPS"):
+        assert float(by_method[advanced][ec10]) >= float(by_method["SA-PSN"][ec10])

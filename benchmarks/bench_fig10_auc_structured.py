@@ -1,0 +1,50 @@
+"""Figure 10 - mean normalized AUC over the structured datasets.
+
+Aggregates the Figure 9 runs: for ec* in {1, 5, 10, 20}, the mean
+AUC*_m across census/restaurant/cora/cddb per method.  The paper's
+reading: LS-PSN and GS-PSN are the top performers on structured data,
+with AUC*@1 about three times that of PSN and PBS.
+"""
+
+from __future__ import annotations
+
+from benchmarks._shared import STRUCTURED, STRUCTURED_METHODS, curve, emit
+from repro.evaluation.report import format_table
+
+EC_POINTS = (1.0, 5.0, 10.0, 20.0)
+MAX_EC = 30.0
+
+
+def compute_rows() -> list[list[object]]:
+    rows = []
+    for method_name in STRUCTURED_METHODS:
+        means = []
+        for ec_star in EC_POINTS:
+            values = [
+                curve(name, method_name, MAX_EC).normalized_auc_at(ec_star)
+                for name in STRUCTURED
+            ]
+            means.append(sum(values) / len(values))
+        rows.append([method_name] + [f"{m:.3f}" for m in means])
+    return rows
+
+
+def bench_fig10_mean_auc_structured(benchmark):
+    rows = benchmark.pedantic(compute_rows, rounds=1, iterations=1)
+    table = format_table(
+        ["method"] + [f"mean AUC*@{x:g}" for x in EC_POINTS],
+        rows,
+        title="Figure 10: mean AUC*_m over the structured datasets",
+    )
+    emit(table)
+    benchmark.extra_info["rows"] = rows
+
+    auc = {row[0]: [float(v) for v in row[1:]] for row in rows}
+    # Similarity-based methods are the structured-data top performers.
+    best_similarity = max(auc["LS-PSN"][2], auc["GS-PSN"][2])
+    assert best_similarity >= auc["PSN"][2]
+    assert best_similarity >= auc["SA-PSN"][2]
+    assert best_similarity >= auc["SA-PSAB"][2]
+    # And the naive methods trail every advanced one at ec* = 10.
+    for advanced in ("LS-PSN", "GS-PSN", "PBS", "PPS"):
+        assert auc[advanced][2] > auc["SA-PSAB"][2]

@@ -1,0 +1,60 @@
+"""Figure 11 - recall progressiveness over the large heterogeneous datasets.
+
+movies / dbpedia / freebase at bench scale, all schema-agnostic methods
+(the schema-based PSN is inapplicable here - no aligned schema exists).
+SA-PSAB runs on movies only: as in the paper, it "cannot scale to the
+largest datasets due to the huge blocks in the highest layers of its
+suffix trees", so the dbpedia/freebase rows omit it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._shared import HETEROGENEOUS, HETEROGENEOUS_METHODS, curve, emit
+from repro.evaluation.report import format_table, sparkline
+
+EC_GRID = (0.5, 1, 2, 5, 10, 20)
+MAX_EC = 20.0
+
+
+def methods_for(name: str) -> list[str]:
+    if name == "movies":
+        return list(HETEROGENEOUS_METHODS)
+    return [m for m in HETEROGENEOUS_METHODS if m != "SA-PSAB"]
+
+
+def compute_dataset(name: str) -> list[list[object]]:
+    rows = []
+    for method_name in methods_for(name):
+        c = curve(name, method_name, MAX_EC)
+        recalls = [c.recall_at(x) for x in EC_GRID]
+        dense = [c.recall_at(x / 4) for x in range(1, 4 * 20 + 1)]
+        rows.append(
+            [method_name]
+            + [f"{r:.3f}" for r in recalls]
+            + [sparkline(dense, 30)]
+        )
+    return rows
+
+
+@pytest.mark.parametrize("name", HETEROGENEOUS)
+def bench_fig11_recall_progressiveness(benchmark, name):
+    rows = benchmark.pedantic(compute_dataset, args=(name,), rounds=1, iterations=1)
+    table = format_table(
+        ["method"] + [f"r@{x:g}" for x in EC_GRID] + ["recall curve (0..20)"],
+        rows,
+        title=f"Figure 11 ({name}): recall vs normalized comparisons ec*",
+    )
+    emit(table)
+    benchmark.extra_info["rows"] = rows
+
+    by_method = {row[0]: [float(v) for v in row[1:-1]] for row in rows}
+    ec10 = EC_GRID.index(10)
+    # The equality-based methods outperform naive SA-PSN everywhere.
+    assert by_method["PPS"][ec10] > by_method["SA-PSN"][ec10]
+    if name == "freebase":
+        # Figure 11c: similarity-based methods collapse on RDF data -
+        # LS-PSN is no better than naive SA-PSN, while PPS/PBS survive.
+        assert by_method["LS-PSN"][ec10] < by_method["PPS"][ec10] / 1.5
+        assert by_method["PBS"][ec10] > by_method["SA-PSN"][ec10]

@@ -1,0 +1,56 @@
+"""Figure 12 - mean normalized AUC over the heterogeneous datasets.
+
+Aggregates the Figure 11 runs.  The paper's reading: PPS is the best
+performer at every ec* level, making it the method of choice for large,
+heterogeneous (Web) data.  SA-PSAB is aggregated over the datasets it can
+handle (movies), as in the paper it does not scale to the other two.
+"""
+
+from __future__ import annotations
+
+from benchmarks._shared import HETEROGENEOUS, HETEROGENEOUS_METHODS, curve, emit
+from repro.evaluation.report import format_table
+
+EC_POINTS = (1.0, 5.0, 10.0, 20.0)
+MAX_EC = 20.0
+
+
+def datasets_for(method_name: str) -> list[str]:
+    if method_name == "SA-PSAB":
+        return ["movies"]
+    return list(HETEROGENEOUS)
+
+
+def compute_rows() -> list[list[object]]:
+    rows = []
+    for method_name in HETEROGENEOUS_METHODS:
+        names = datasets_for(method_name)
+        means = []
+        for ec_star in EC_POINTS:
+            values = [
+                curve(name, method_name, MAX_EC).normalized_auc_at(ec_star)
+                for name in names
+            ]
+            means.append(sum(values) / len(values))
+        rows.append(
+            [method_name, "+".join(n[:2] for n in names)]
+            + [f"{m:.3f}" for m in means]
+        )
+    return rows
+
+
+def bench_fig12_mean_auc_heterogeneous(benchmark):
+    rows = benchmark.pedantic(compute_rows, rounds=1, iterations=1)
+    table = format_table(
+        ["method", "datasets"] + [f"mean AUC*@{x:g}" for x in EC_POINTS],
+        rows,
+        title="Figure 12: mean AUC*_m over the large, heterogeneous datasets",
+    )
+    emit(table)
+    benchmark.extra_info["rows"] = rows
+
+    auc = {row[0]: [float(v) for v in row[2:]] for row in rows}
+    # PPS is the overall best performer at every ec* level (Section 7.2).
+    for index in range(len(EC_POINTS)):
+        for other in ("SA-PSN", "LS-PSN", "PBS"):
+            assert auc["PPS"][index] >= auc[other][index], (other, index)

@@ -1,0 +1,95 @@
+"""Bring your own data: custom profiles, matcher and batch pruning.
+
+Shows the full public API surface on user-supplied data instead of the
+bundled benchmarks:
+
+1. build a ProfileStore from plain dictionaries (e.g. parsed JSON);
+2. inspect the Token Blocking workflow and its quality (PC/PQ/RR);
+3. run PPS progressively with a custom match function;
+4. compare against batch Meta-blocking pruning (WNP) on the same blocks.
+
+Run:  python examples/custom_dataset_and_matcher.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    EntityProfile,
+    GroundTruth,
+    ProfileStore,
+    evaluate_blocking,
+    token_blocking_workflow,
+)
+from repro.matching import MatchFunction, jaccard
+from repro.metablocking import weighted_node_pruning
+from repro.progressive import PPS
+
+# Product records from two feeds, parsed out of JSON - note the different
+# attribute conventions (brand/manufacturer, title/name).
+CATALOG = [
+    {"title": "thinkpad x1 carbon gen9", "brand": "lenovo", "ram": "16gb"},
+    {"name": "lenovo thinkpad x1 carbon 9th gen", "manufacturer": "lenovo"},
+    {"title": "galaxy s21 ultra 5g", "brand": "samsung", "color": "black"},
+    {"name": "samsung galaxy s21 ultra", "storage": "256gb"},
+    {"title": "airpods pro 2nd generation", "brand": "apple"},
+    {"name": "apple airpods pro 2", "color": "white"},
+    {"title": "kindle paperwhite kids", "brand": "amazon"},
+    {"name": "logitech mx master 3s mouse", "manufacturer": "logitech"},
+]
+TRUTH = GroundTruth([(0, 1), (2, 3), (4, 5)], closed=False)
+
+
+class TokenOverlapMatcher(MatchFunction):
+    """Custom match function: Jaccard over 3+ character tokens only."""
+
+    name = "token-overlap"
+
+    def similarity(self, a: EntityProfile, b: EntityProfile) -> float:
+        tokens_a = [t for t in a.text().lower().split() if len(t) >= 3]
+        tokens_b = [t for t in b.text().lower().split() if len(t) >= 3]
+        return jaccard(tokens_a, tokens_b)
+
+    def __call__(self, a: EntityProfile, b: EntityProfile) -> bool:
+        return self.similarity(a, b) >= 0.4
+
+
+def main() -> None:
+    store = ProfileStore.from_attribute_maps(CATALOG)
+
+    # -- blocking quality ---------------------------------------------------
+    blocks = token_blocking_workflow(store, purge_ratio=0.5)
+    quality = evaluate_blocking(blocks, TRUTH)
+    print(f"token blocking workflow: |B|={len(blocks)} blocks, {quality}")
+
+    # -- progressive resolution with the custom matcher ----------------------
+    matcher = TokenOverlapMatcher()
+    print("\nprogressive emissions (PPS + custom matcher):")
+    method = PPS(store, blocks=blocks, exhaustive=True)
+    found: set[tuple[int, int]] = set()
+    for rank, comparison in enumerate(method, start=1):
+        a, b = store[comparison.i], store[comparison.j]
+        decision = matcher(a, b)
+        marker = "MATCH" if decision else ""
+        print(
+            f"  {rank:2d}. ({comparison.i}, {comparison.j})"
+            f" weight={comparison.weight:.2f} sim={matcher.similarity(a, b):.2f}"
+            f" {marker}"
+        )
+        if decision:
+            found.add(comparison.pair)
+    correct = sum(TRUTH.is_match(i, j) for i, j in found)
+    print(f"\nconfirmed {len(found)} pairs, {correct} correct of {len(TRUTH)} true")
+
+    # -- batch meta-blocking comparison ---------------------------------------
+    kept = weighted_node_pruning(blocks)
+    covered = {c.pair for c in kept} & TRUTH.pairs
+    print(
+        f"\nbatch WNP on the same blocks keeps {len(kept)} comparisons and"
+        f" covers {len(covered)}/{len(TRUTH)} matches - but offers no"
+        " emission order; the progressive method found every match within"
+        " its first emissions."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Dirty ER: deduplicating a census-like collection, method by method.
+
+A pay-as-you-go deduplication over a single noisy person registry: every
+method gets the same comparison budget (ec* = 5, i.e. five comparisons per
+existing duplicate) and we report how much of the ground truth each one
+recovers, plus the normalized area under the recall curve (AUC*).
+
+This is a miniature of the paper's Figure 9/10 experiment; the schema-based
+PSN baseline runs with the literature's census key
+(soundex(surname) + initial + zipcode) while the schema-agnostic methods
+need no schema knowledge at all.
+
+Run:  python examples/dirty_er_deduplication.py
+"""
+
+from __future__ import annotations
+
+from repro import load_dataset, run_progressive
+from repro.evaluation import format_table
+from repro.progressive import build_method
+
+BUDGET_EC_STAR = 5.0
+METHODS = ["PSN", "SA-PSN", "SA-PSAB", "LS-PSN", "GS-PSN", "PBS", "PPS"]
+
+
+def main() -> None:
+    dataset = load_dataset("census")
+    print(f"dataset: {dataset.name}  {dataset.stats()}\n")
+
+    rows = []
+    for name in METHODS:
+        kwargs = {"key_function": dataset.psn_key} if name == "PSN" else {}
+        method = build_method(name, dataset.store, **kwargs)
+        curve = run_progressive(
+            method, dataset.ground_truth, max_ec_star=BUDGET_EC_STAR
+        )
+        rows.append(
+            [
+                name,
+                f"{curve.recall_at(1.0):.3f}",
+                f"{curve.recall_at(BUDGET_EC_STAR):.3f}",
+                f"{curve.normalized_auc_at(BUDGET_EC_STAR):.3f}",
+                curve.emitted,
+            ]
+        )
+
+    print(
+        format_table(
+            ["method", "recall@1", f"recall@{BUDGET_EC_STAR:g}",
+             f"AUC*@{BUDGET_EC_STAR:g}", "comparisons"],
+            rows,
+            title=f"Pay-as-you-go deduplication (budget ec* = {BUDGET_EC_STAR:g})",
+        )
+    )
+    print(
+        "\nReading: the schema-agnostic LS/GS-PSN match or beat the"
+        " schema-based PSN without any schema knowledge - the paper's"
+        " central claim."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` on this offline box cannot build a wheel, so
+``python setup.py develop`` (or a site-packages ``.pth`` entry) provides
+the editable install instead.  All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,132 @@
+"""repro - Schema-agnostic Progressive Entity Resolution.
+
+A complete reproduction of "Schema-agnostic Progressive Entity Resolution"
+(Simonini, Papadakis, Palpanas, Bergamaschi - ICDE 2018): the six
+schema-agnostic progressive methods (SA-PSN, SA-PSAB, LS-PSN, GS-PSN, PBS,
+PPS), the schema-based PSN baseline, every substrate they depend on
+(token blocking, purging, filtering, scheduling, suffix forests, neighbor
+lists, position/profile indexes, blocking graphs) and the full evaluation
+harness (recall progressiveness, AUC*, timing).
+
+Quickstart::
+
+    from repro import load_dataset, build_method, run_progressive
+
+    dataset = load_dataset("restaurant")
+    method = build_method("PPS", dataset.store)
+    curve = run_progressive(method, dataset.ground_truth, max_ec_star=10)
+    print(curve.normalized_auc_at(1.0))
+"""
+
+from repro.blocking import (
+    Block,
+    BlockCollection,
+    BlockFiltering,
+    BlockPurging,
+    KeyFunction,
+    StandardBlocking,
+    SuffixArraysBlocking,
+    TokenBlocking,
+    block_scheduling,
+    soundex,
+    token_blocking_workflow,
+)
+from repro.core import (
+    Comparison,
+    ComparisonList,
+    EntityProfile,
+    ERType,
+    GroundTruth,
+    ProfileStore,
+    Tokenizer,
+)
+from repro.datasets import Dataset, list_datasets, load_dataset
+from repro.evaluation import (
+    RecallCurve,
+    evaluate_blocking,
+    measure_initialization,
+    run_progressive,
+    timed_run,
+)
+from repro.matching import (
+    EditDistanceMatcher,
+    JaccardMatcher,
+    OracleMatcher,
+    jaccard,
+    levenshtein,
+)
+from repro.metablocking import ProfileIndex, build_blocking_graph, make_scheme
+from repro.neighborlist import NeighborList, PositionIndex, RCFWeighting
+from repro.progressive import (
+    GSPSN,
+    LSPSN,
+    PBS,
+    PPS,
+    PSN,
+    SAPSAB,
+    SAPSN,
+    ProgressiveMethod,
+    available_methods,
+    build_method,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # core
+    "Comparison",
+    "ComparisonList",
+    "EntityProfile",
+    "ERType",
+    "GroundTruth",
+    "ProfileStore",
+    "Tokenizer",
+    # blocking
+    "Block",
+    "BlockCollection",
+    "BlockFiltering",
+    "BlockPurging",
+    "KeyFunction",
+    "StandardBlocking",
+    "SuffixArraysBlocking",
+    "TokenBlocking",
+    "block_scheduling",
+    "soundex",
+    "token_blocking_workflow",
+    # meta-blocking
+    "ProfileIndex",
+    "build_blocking_graph",
+    "make_scheme",
+    # neighbor lists
+    "NeighborList",
+    "PositionIndex",
+    "RCFWeighting",
+    # progressive methods
+    "ProgressiveMethod",
+    "available_methods",
+    "build_method",
+    "PSN",
+    "SAPSN",
+    "SAPSAB",
+    "LSPSN",
+    "GSPSN",
+    "PBS",
+    "PPS",
+    # matching
+    "EditDistanceMatcher",
+    "JaccardMatcher",
+    "OracleMatcher",
+    "jaccard",
+    "levenshtein",
+    # datasets
+    "Dataset",
+    "list_datasets",
+    "load_dataset",
+    # evaluation
+    "RecallCurve",
+    "evaluate_blocking",
+    "measure_initialization",
+    "run_progressive",
+    "timed_run",
+    "__version__",
+]

@@ -1,0 +1,74 @@
+"""Block Filtering [12] - step (3) of the Token Blocking workflow.
+
+Retains every profile only in a fraction of its most important blocks -
+importance being inverse size, since smaller blocks correspond to rarer,
+more distinctive keys.  The paper keeps each profile in 80% of its smallest
+blocks.  Filtering shrinks blocks (rather than dropping them wholesale), so
+the result is a rebuilt collection whose blocks contain only the retained
+profile-block assignments.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.blocking.base import Block, BlockCollection
+from repro.core.profiles import ERType
+
+
+class BlockFiltering:
+    """Keep each profile in a ratio of its smallest blocks.
+
+    Parameters
+    ----------
+    ratio:
+        Fraction of each profile's blocks to retain (paper: 0.8).  The
+        retained count is ``ceil(ratio * |B_i|)`` so a profile appearing in
+        at least one block always keeps at least one.
+    """
+
+    def __init__(self, ratio: float = 0.8) -> None:
+        if not 0.0 < ratio <= 1.0:
+            raise ValueError("ratio must be in (0, 1]")
+        self.ratio = ratio
+
+    def apply(self, collection: BlockCollection) -> BlockCollection:
+        """A new collection with per-profile assignments filtered."""
+        store = collection.store
+
+        # Rank blocks by ascending cardinality: the profile keeps its
+        # smallest (most distinctive) blocks.  Ties broken by key for
+        # determinism.
+        er_type = store.er_type
+        order = sorted(
+            range(len(collection.blocks)),
+            key=lambda idx: (
+                collection.blocks[idx].cardinality(er_type),
+                collection.blocks[idx].key,
+            ),
+        )
+        rank_of_block = {block_index: rank for rank, block_index in enumerate(order)}
+
+        # Collect each profile's blocks, best (smallest) first.
+        blocks_of_profile: dict[int, list[int]] = {}
+        for block_index, block in enumerate(collection.blocks):
+            for profile_id in block.ids:
+                blocks_of_profile.setdefault(profile_id, []).append(block_index)
+
+        retained: dict[int, set[int]] = {}
+        for profile_id, block_indexes in blocks_of_profile.items():
+            block_indexes.sort(key=lambda idx: rank_of_block[idx])
+            keep = math.ceil(self.ratio * len(block_indexes))
+            retained[profile_id] = set(block_indexes[:keep])
+
+        cross_source = er_type is ERType.CLEAN_CLEAN
+        new_blocks: list[Block] = []
+        for block_index, block in enumerate(collection.blocks):
+            ids = [pid for pid in block.ids if block_index in retained.get(pid, ())]
+            if len(ids) < 2:
+                continue
+            new_block = Block(block.key, ids, store)
+            if cross_source and (not new_block.left_ids or not new_block.right_ids):
+                continue
+            new_blocks.append(new_block)
+        return BlockCollection(new_blocks, store)

@@ -1,0 +1,33 @@
+"""Block Purging [12] - step (2) of the Token Blocking workflow.
+
+Discards over-populated blocks whose keys behave like stop words: a block
+containing more than ``max_profile_ratio`` (paper: 10%) of the input
+profiles carries essentially no matching evidence while dominating the
+comparison budget.
+"""
+
+from __future__ import annotations
+
+from repro.blocking.base import BlockCollection
+
+
+class BlockPurging:
+    """Drop blocks larger than a fraction of the profile collection.
+
+    Parameters
+    ----------
+    max_profile_ratio:
+        Blocks with more than ``ratio * |P|`` profiles are discarded.
+        The paper uses 0.1 ("involving more than 10% of the input
+        profiles").
+    """
+
+    def __init__(self, max_profile_ratio: float = 0.1) -> None:
+        if not 0.0 < max_profile_ratio <= 1.0:
+            raise ValueError("max_profile_ratio must be in (0, 1]")
+        self.max_profile_ratio = max_profile_ratio
+
+    def apply(self, collection: BlockCollection) -> BlockCollection:
+        """A new collection without the stop-word blocks."""
+        limit = self.max_profile_ratio * len(collection.store)
+        return collection.filtered(lambda block: block.size <= limit)

@@ -1,0 +1,48 @@
+"""Token Blocking - schema-agnostic Standard Blocking [18].
+
+Creates one block per distinct attribute-value token that appears in at
+least two profiles (at least one per source for Clean-clean ER), regardless
+of the attribute the token came from.  This is step (1) of the paper's
+Token Blocking workflow (Section 7, "Parameter configuration") and the
+source of the redundancy-positive blocks required by the equality-based
+progressive methods.
+"""
+
+from __future__ import annotations
+
+from repro.blocking.base import Block, BlockCollection
+from repro.core.profiles import ERType, ProfileStore
+from repro.core.tokenization import DEFAULT_TOKENIZER, Tokenizer
+
+
+class TokenBlocking:
+    """Builds token blocks from a profile store.
+
+    Parameters
+    ----------
+    tokenizer:
+        Controls how attribute values decompose into tokens.
+    """
+
+    def __init__(self, tokenizer: Tokenizer = DEFAULT_TOKENIZER) -> None:
+        self.tokenizer = tokenizer
+
+    def build(self, store: ProfileStore) -> BlockCollection:
+        """One block per token shared by >= 2 profiles (cross-source for
+        Clean-clean), in deterministic (alphabetical) key order."""
+        buckets: dict[str, list[int]] = {}
+        for profile in store:
+            for token in self.tokenizer.distinct_profile_tokens(profile):
+                buckets.setdefault(token, []).append(profile.profile_id)
+
+        blocks: list[Block] = []
+        cross_source = store.er_type is ERType.CLEAN_CLEAN
+        for token in sorted(buckets):
+            ids = buckets[token]
+            if len(ids) < 2:
+                continue
+            block = Block(token, ids, store)
+            if cross_source and (not block.left_ids or not block.right_ids):
+                continue
+            blocks.append(block)
+        return BlockCollection(blocks, store)

@@ -1,0 +1,147 @@
+"""Comparisons and the Comparison List.
+
+A *comparison* c_ij is a candidate pair of profiles handed to the match
+function.  Progressive methods emit comparisons in non-increasing estimated
+matching likelihood; the paper's methods buffer the current batch of best
+comparisons in a *Comparison List* (Section 5) that is refilled whenever it
+runs empty.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Iterator, NamedTuple
+
+from repro.core.ground_truth import normalize_pair
+
+
+class Comparison(NamedTuple):
+    """A candidate pair with its estimated matching likelihood.
+
+    ``i < j`` always holds (pairs are unordered); ``weight`` is the score
+    assigned by the emitting method, higher meaning more likely to match.
+    """
+
+    i: int
+    j: int
+    weight: float = 0.0
+
+    @classmethod
+    def make(cls, i: int, j: int, weight: float = 0.0) -> "Comparison":
+        """Build a comparison with the pair in canonical order."""
+        a, b = normalize_pair(i, j)
+        return cls(a, b, weight)
+
+    @property
+    def pair(self) -> tuple[int, int]:
+        """The canonical (min, max) profile-id pair."""
+        return (self.i, self.j)
+
+
+class ComparisonList:
+    """A buffer of comparisons sorted in non-increasing weight.
+
+    This is the paper's Comparison List: the initialization phase (and each
+    refill during emission) bulk-loads a batch of weighted comparisons; the
+    emission phase pops them from the best to the worst.  Bulk loading plus
+    one sort is cheaper than maintaining a heap when the whole batch is
+    known up front, which is exactly the access pattern of LS-PSN, GS-PSN,
+    PBS and PPS.
+
+    Ties are broken deterministically by ascending pair so that runs are
+    reproducible.
+    """
+
+    __slots__ = ("_items", "_sorted")
+
+    def __init__(self, comparisons: Iterable[Comparison] = ()) -> None:
+        self._items: list[Comparison] = list(comparisons)
+        self._sorted = False
+
+    def add(self, comparison: Comparison) -> None:
+        """Append a comparison (invalidates the current ordering)."""
+        self._items.append(comparison)
+        self._sorted = False
+
+    def extend(self, comparisons: Iterable[Comparison]) -> None:
+        """Append many comparisons (invalidates the current ordering)."""
+        self._items.extend(comparisons)
+        self._sorted = False
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            # Highest weight first; ties by ascending (i, j) for determinism.
+            self._items.sort(key=lambda c: (-c.weight, c.i, c.j))
+            self._sorted = True
+
+    def remove_first(self) -> Comparison:
+        """Pop and return the highest-weighted comparison."""
+        self._ensure_sorted()
+        if not self._items:
+            raise IndexError("ComparisonList is empty")
+        return self._items.pop(0)
+
+    def drain(self) -> Iterator[Comparison]:
+        """Yield all comparisons from best to worst, emptying the list."""
+        self._ensure_sorted()
+        items, self._items = self._items, []
+        yield from items
+
+    def peek(self) -> Comparison:
+        """The highest-weighted comparison without removing it."""
+        self._ensure_sorted()
+        if not self._items:
+            raise IndexError("ComparisonList is empty")
+        return self._items[0]
+
+    def is_empty(self) -> bool:
+        return not self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Comparison]:
+        self._ensure_sorted()
+        return iter(list(self._items))
+
+
+class SortedStack:
+    """Bounded min-heap keeping the K_max highest-weighted comparisons.
+
+    The paper's PPS emission phase (Section 5.2.2) uses a "SortedStack"
+    whose head is always the *lowest*-weighted comparison so that it can be
+    discarded in O(1) when the stack exceeds K_max.  A binary heap gives the
+    same contract with O(log n) push/pop, which is what the constant-factor
+    "sorted" structure amounts to in practice.
+    """
+
+    __slots__ = ("_heap", "_counter")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, int, Comparison]] = []
+        self._counter = 0
+
+    def push(self, comparison: Comparison) -> None:
+        """Insert a comparison, keeping the lowest weight on top."""
+        # (weight, -i, -j) ordering: on weight ties the *larger* pair is
+        # considered lower priority, matching ComparisonList's tie-break.
+        heapq.heappush(
+            self._heap,
+            (comparison.weight, -comparison.i, -comparison.j, comparison),
+        )
+        self._counter += 1
+
+    def pop(self) -> Comparison:
+        """Remove and return the lowest-weighted comparison."""
+        if not self._heap:
+            raise IndexError("SortedStack is empty")
+        return heapq.heappop(self._heap)[3]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def drain_descending(self) -> list[Comparison]:
+        """Empty the stack, returning comparisons from best to worst."""
+        ascending = [heapq.heappop(self._heap)[3] for _ in range(len(self._heap))]
+        ascending.reverse()
+        return ascending

@@ -1,0 +1,276 @@
+"""Entity profiles and profile collections.
+
+The paper's data model (Section 3): an *entity profile* is a uniquely
+identified set of attribute name-value pairs.  Profiles may come from
+relational records, RDF triples, JSON objects or free text; the model is
+deliberately schema-agnostic, so attribute names are plain strings and a
+profile may use any subset of them.
+
+Two ER task shapes are supported (Section 3):
+
+* **Dirty ER** - a single collection that contains duplicates in itself;
+  every pair of distinct profiles is a candidate comparison.
+* **Clean-clean ER** - two individually duplicate-free collections; only
+  cross-source pairs are candidate comparisons.
+
+:class:`ProfileStore` holds one task's profiles with dense integer ids so
+that the algorithms can use flat arrays for their indexes.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Iterator, Mapping, Sequence
+
+
+class ERType(enum.Enum):
+    """The two ER task shapes from Section 3 of the paper."""
+
+    DIRTY = "dirty"
+    CLEAN_CLEAN = "clean-clean"
+
+
+class EntityProfile:
+    """A uniquely identified set of attribute name-value pairs.
+
+    Parameters
+    ----------
+    profile_id:
+        Dense integer id of the profile inside its :class:`ProfileStore`.
+    attributes:
+        The name-value pairs.  Accepts either a mapping ``name -> value``
+        (or ``name -> list of values``) or an iterable of ``(name, value)``
+        tuples.  Values are stored as strings; non-string values are
+        converted with :func:`str`.
+    source:
+        Source id.  ``0`` for Dirty ER; ``0`` or ``1`` for Clean-clean ER.
+    """
+
+    __slots__ = ("profile_id", "pairs", "source")
+
+    def __init__(
+        self,
+        profile_id: int,
+        attributes: Mapping[str, object] | Iterable[tuple[str, object]],
+        source: int = 0,
+    ) -> None:
+        if isinstance(attributes, Mapping):
+            items: list[tuple[str, object]] = []
+            for name, value in attributes.items():
+                if isinstance(value, (list, tuple, set, frozenset)):
+                    items.extend((name, v) for v in value)
+                else:
+                    items.append((name, value))
+        else:
+            items = list(attributes)
+        self.profile_id = int(profile_id)
+        self.pairs: tuple[tuple[str, str], ...] = tuple(
+            (str(name), str(value)) for name, value in items
+        )
+        self.source = int(source)
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        """Distinct attribute names used by this profile."""
+        seen: dict[str, None] = {}
+        for name, _ in self.pairs:
+            seen.setdefault(name)
+        return tuple(seen)
+
+    def values(self, name: str | None = None) -> tuple[str, ...]:
+        """All values, or all values of attribute ``name``."""
+        if name is None:
+            return tuple(value for _, value in self.pairs)
+        return tuple(value for attr, value in self.pairs if attr == name)
+
+    def value(self, name: str, default: str = "") -> str:
+        """First value of attribute ``name``, or ``default`` if absent."""
+        for attr, val in self.pairs:
+            if attr == name:
+                return val
+        return default
+
+    def text(self) -> str:
+        """All attribute values concatenated - the schema-agnostic view.
+
+        This is what the match functions of Section 7.3 compare: the
+        profile as an unstructured string, independent of any schema.
+        """
+        return " ".join(value for _, value in self.pairs)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EntityProfile):
+            return NotImplemented
+        return (
+            self.profile_id == other.profile_id
+            and self.pairs == other.pairs
+            and self.source == other.source
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.profile_id, self.source, self.pairs))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        preview = ", ".join(f"{n}={v!r}" for n, v in self.pairs[:3])
+        if len(self.pairs) > 3:
+            preview += ", ..."
+        return f"EntityProfile(id={self.profile_id}, source={self.source}, {preview})"
+
+
+class ProfileStore:
+    """An indexed profile collection for one ER task.
+
+    Profiles are stored in a dense list so that ``store[i]`` is the profile
+    with id ``i``.  The store knows the task shape (:class:`ERType`) and is
+    the single authority on which comparisons are valid:
+
+    * Dirty ER: any pair of distinct profiles.
+    * Clean-clean ER: pairs with different ``source`` ids only.
+    """
+
+    __slots__ = ("profiles", "er_type", "_source_counts")
+
+    def __init__(
+        self,
+        profiles: Sequence[EntityProfile],
+        er_type: ERType = ERType.DIRTY,
+    ) -> None:
+        self.profiles: list[EntityProfile] = list(profiles)
+        for index, profile in enumerate(self.profiles):
+            if profile.profile_id != index:
+                raise ValueError(
+                    f"profile at position {index} has id {profile.profile_id}; "
+                    "ProfileStore requires dense ids 0..n-1"
+                )
+        self.er_type = er_type
+        counts: dict[int, int] = {}
+        for profile in self.profiles:
+            counts[profile.source] = counts.get(profile.source, 0) + 1
+        self._source_counts = counts
+        if er_type is ERType.CLEAN_CLEAN:
+            if set(counts) - {0, 1}:
+                raise ValueError(
+                    "Clean-clean ER requires sources 0 and 1, "
+                    f"got sources {sorted(counts)}"
+                )
+
+    # -- construction helpers ----------------------------------------------
+
+    @classmethod
+    def from_attribute_maps(
+        cls,
+        records: Iterable[Mapping[str, object]],
+        er_type: ERType = ERType.DIRTY,
+        sources: Iterable[int] | None = None,
+    ) -> "ProfileStore":
+        """Build a store from plain dictionaries (ids assigned densely)."""
+        records = list(records)
+        if sources is None:
+            source_list = [0] * len(records)
+        else:
+            source_list = list(sources)
+            if len(source_list) != len(records):
+                raise ValueError("sources must align with records")
+        profiles = [
+            EntityProfile(i, record, source)
+            for i, (record, source) in enumerate(zip(records, source_list))
+        ]
+        return cls(profiles, er_type)
+
+    @classmethod
+    def clean_clean(
+        cls,
+        left: Sequence[EntityProfile | Mapping[str, object]],
+        right: Sequence[EntityProfile | Mapping[str, object]],
+    ) -> "ProfileStore":
+        """Build a Clean-clean store from two collections.
+
+        Ids are re-assigned densely: the left collection occupies ids
+        ``0..len(left)-1`` with source 0, the right collection follows with
+        source 1.
+        """
+        profiles: list[EntityProfile] = []
+        for source, collection in ((0, left), (1, right)):
+            for item in collection:
+                pid = len(profiles)
+                if isinstance(item, EntityProfile):
+                    profiles.append(EntityProfile(pid, item.pairs, source))
+                else:
+                    profiles.append(EntityProfile(pid, item, source))
+        return cls(profiles, ERType.CLEAN_CLEAN)
+
+    # -- container protocol --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.profiles)
+
+    def __getitem__(self, profile_id: int) -> EntityProfile:
+        return self.profiles[profile_id]
+
+    def __iter__(self) -> Iterator[EntityProfile]:
+        return iter(self.profiles)
+
+    # -- task semantics ------------------------------------------------------
+
+    def source_of(self, profile_id: int) -> int:
+        """Source id of a profile (0 for Dirty ER)."""
+        return self.profiles[profile_id].source
+
+    def source_size(self, source: int) -> int:
+        """Number of profiles with the given source id."""
+        return self._source_counts.get(source, 0)
+
+    def source_ids(self, source: int) -> list[int]:
+        """All profile ids with the given source id."""
+        return [p.profile_id for p in self.profiles if p.source == source]
+
+    def valid_comparison(self, i: int, j: int) -> bool:
+        """Whether ``(i, j)`` is a candidate comparison for this task."""
+        if i == j:
+            return False
+        if self.er_type is ERType.DIRTY:
+            return True
+        return self.profiles[i].source != self.profiles[j].source
+
+    def total_candidate_comparisons(self) -> int:
+        """Brute-force comparison count (the quadratic baseline)."""
+        n = len(self.profiles)
+        if self.er_type is ERType.DIRTY:
+            return n * (n - 1) // 2
+        return self.source_size(0) * self.source_size(1)
+
+    # -- statistics (Table 2 of the paper) ------------------------------------
+
+    def attribute_name_count(self) -> int:
+        """Number of distinct attribute names across all profiles."""
+        names: set[str] = set()
+        for profile in self.profiles:
+            for name, _ in profile.pairs:
+                names.add(name)
+        return len(names)
+
+    def attribute_name_count_by_source(self) -> dict[int, int]:
+        """Distinct attribute names per source (Table 2 reports both)."""
+        names: dict[int, set[str]] = {}
+        for profile in self.profiles:
+            bucket = names.setdefault(profile.source, set())
+            for name, _ in profile.pairs:
+                bucket.add(name)
+        return {source: len(bucket) for source, bucket in names.items()}
+
+    def mean_pairs_per_profile(self) -> float:
+        """Average number of name-value pairs per profile (|p| in Table 2)."""
+        if not self.profiles:
+            return 0.0
+        return sum(len(p) for p in self.profiles) / len(self.profiles)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ProfileStore({len(self.profiles)} profiles, "
+            f"{self.er_type.value}, sources={self._source_counts})"
+        )

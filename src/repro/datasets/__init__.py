@@ -1,0 +1,38 @@
+"""Synthetic benchmark datasets reproducing the paper's 7 testbeds."""
+
+from repro.datasets.base import Dataset, cluster_sizes
+from repro.datasets.corruption import Corruptor
+from repro.datasets.heterogeneous import (
+    generate_dbpedia,
+    generate_freebase,
+    generate_movies,
+)
+from repro.datasets.registry import (
+    HETEROGENEOUS_DATASETS,
+    STRUCTURED_DATASETS,
+    list_datasets,
+    load_dataset,
+)
+from repro.datasets.structured import (
+    generate_cddb,
+    generate_census,
+    generate_cora,
+    generate_restaurant,
+)
+
+__all__ = [
+    "Dataset",
+    "cluster_sizes",
+    "Corruptor",
+    "generate_census",
+    "generate_restaurant",
+    "generate_cora",
+    "generate_cddb",
+    "generate_movies",
+    "generate_dbpedia",
+    "generate_freebase",
+    "list_datasets",
+    "load_dataset",
+    "STRUCTURED_DATASETS",
+    "HETEROGENEOUS_DATASETS",
+]

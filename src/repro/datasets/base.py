@@ -1,0 +1,124 @@
+"""Dataset container and shared generator helpers."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.ground_truth import GroundTruth
+from repro.core.profiles import EntityProfile, ERType, ProfileStore
+
+
+@dataclass
+class Dataset:
+    """A benchmark dataset: profiles, ground truth and provenance.
+
+    ``paper_stats`` records the Table 2 characteristics of the real dataset
+    this synthetic one substitutes for (at scale 1.0), so the Table 2 bench
+    can print generated-vs-paper side by side.  ``psn_key`` carries the
+    schema-based blocking key for the PSN baseline where the literature
+    defines one (the structured datasets only).
+    """
+
+    name: str
+    store: ProfileStore
+    ground_truth: GroundTruth
+    description: str = ""
+    scale: float = 1.0
+    paper_stats: dict[str, object] = field(default_factory=dict)
+    psn_key: Callable[[EntityProfile], str] | None = None
+
+    def stats(self) -> dict[str, object]:
+        """Generated characteristics in Table 2's vocabulary."""
+        store = self.store
+        out: dict[str, object] = {
+            "er_type": store.er_type.value,
+            "profiles": len(store),
+            "attributes": store.attribute_name_count(),
+            "matches": len(self.ground_truth),
+            "mean_pairs": round(store.mean_pairs_per_profile(), 2),
+        }
+        if store.er_type is ERType.CLEAN_CLEAN:
+            out["profiles_by_source"] = (
+                store.source_size(0),
+                store.source_size(1),
+            )
+            out["attributes_by_source"] = tuple(
+                store.attribute_name_count_by_source().get(source, 0)
+                for source in (0, 1)
+            )
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Dataset({self.name!r}, |P|={len(self.store)}, |DP|={len(self.ground_truth)})"
+
+
+def scaled(value: int, scale: float, minimum: int = 1) -> int:
+    """Round a paper-scale count down to the working scale."""
+    return max(minimum, round(value * scale))
+
+
+def cluster_sizes(
+    total_profiles: int,
+    total_matches: int,
+    max_cluster: int = 60,
+) -> list[int]:
+    """Cluster sizes hitting ``total_matches`` intra-cluster pairs exactly.
+
+    Greedy: repeatedly take the largest cluster (capped) whose pair count
+    fits in the remaining match budget; leftover profiles are singletons.
+    Reproduces the skewed cluster-size distributions of datasets like
+    cora, where a handful of heavily-cited papers account for most pairs.
+
+    Returns sizes of the *duplicate* clusters only (singletons implied by
+    ``total_profiles - sum(sizes)``).
+    """
+    if total_matches < 0 or total_profiles < 0:
+        raise ValueError("counts must be non-negative")
+    sizes: list[int] = []
+    matches_left = total_matches
+    profiles_left = total_profiles
+    while matches_left > 0 and profiles_left >= 2:
+        # Largest s with s*(s-1)/2 <= matches_left.
+        size = int((1 + (1 + 8 * matches_left) ** 0.5) / 2)
+        size = min(size, max_cluster, profiles_left)
+        if size < 2:
+            break
+        sizes.append(size)
+        matches_left -= size * (size - 1) // 2
+        profiles_left -= size
+    return sizes
+
+
+def shuffled_store(
+    records: list[tuple[dict[str, object] | list[tuple[str, str]], int, int]],
+    er_type: ERType,
+    rng: random.Random,
+) -> tuple[ProfileStore, GroundTruth]:
+    """Assemble a store + ground truth from (attributes, cluster, source).
+
+    ``cluster`` is an entity id: records sharing it are duplicates
+    (cluster < 0 means "unique entity", never matched).  Records are
+    shuffled before id assignment so that profile ids carry no signal
+    about cluster membership; for Clean-clean ER the source-0 profiles
+    keep the low id range, as :meth:`ProfileStore.clean_clean` requires.
+    """
+    order = list(range(len(records)))
+    rng.shuffle(order)
+    if er_type is ERType.CLEAN_CLEAN:
+        order.sort(key=lambda idx: records[idx][2])  # stable: sources grouped
+
+    profiles: list[EntityProfile] = []
+    members: dict[int, list[int]] = {}
+    for new_id, record_index in enumerate(order):
+        attributes, cluster, source = records[record_index]
+        profiles.append(EntityProfile(new_id, attributes, source))
+        if cluster >= 0:
+            members.setdefault(cluster, []).append(new_id)
+
+    store = ProfileStore(profiles, er_type)
+    truth = GroundTruth.from_clusters(
+        group for group in members.values() if len(group) >= 2
+    )
+    return store, truth

@@ -1,0 +1,127 @@
+"""Noise injection for duplicate profiles.
+
+The paper's conclusion (Section 8) hinges on two noise regimes:
+
+* **character-level** noise (typos, OCR slips) - dominant in curated,
+  structured datasets; alphabetical sorting keeps corrupted keys near
+  their originals, so the similarity principle thrives;
+* **token-level** noise (dropped/renamed/reformatted values, URIs) -
+  dominant in semi-structured Web data; it destroys alphabetical
+  proximity while leaving enough shared tokens for the equality principle.
+
+:class:`Corruptor` implements both families as small, seeded operations so
+every generator can dial in its regime explicitly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+_KEYBOARD_NEIGHBORS = {
+    "a": "qws", "b": "vgn", "c": "xdv", "d": "sfe", "e": "wrd", "f": "dgr",
+    "g": "fht", "h": "gjy", "i": "uok", "j": "hku", "k": "jli", "l": "ko",
+    "m": "nj", "n": "bmh", "o": "ipl", "p": "ol", "q": "wa", "r": "etf",
+    "s": "adw", "t": "ryg", "u": "yij", "v": "cbf", "w": "qes", "x": "zcs",
+    "y": "tuh", "z": "xa",
+}
+
+
+class Corruptor:
+    """Seeded noise generator shared by all dataset builders."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+
+    # -- character-level operations -------------------------------------------
+
+    def typo(self, word: str) -> str:
+        """One random edit: substitute, insert, delete or transpose.
+
+        Edits avoid position 0 when possible, mimicking real typos (and
+        OCR noise), which cluster mid-word; this also means the corrupted
+        word usually stays alphabetically adjacent to the original - the
+        property the similarity principle relies on.
+        """
+        if len(word) < 2:
+            return word
+        rng = self.rng
+        operation = rng.randrange(4)
+        position = rng.randrange(1, len(word))
+        if operation == 0:  # substitution (keyboard-adjacent if known)
+            pool = _KEYBOARD_NEIGHBORS.get(word[position], "abcdefghijklmnopqrstuvwxyz")
+            return word[:position] + rng.choice(pool) + word[position + 1:]
+        if operation == 1:  # insertion
+            return word[:position] + rng.choice("abcdefghijklmnopqrstuvwxyz") + word[position:]
+        if operation == 2:  # deletion
+            return word[:position] + word[position + 1:]
+        # transposition
+        if position == len(word) - 1:
+            position -= 1
+        if position < 1:
+            return word
+        return (
+            word[:position]
+            + word[position + 1]
+            + word[position]
+            + word[position + 2:]
+        )
+
+    def maybe_typo(self, word: str, probability: float) -> str:
+        """Apply :meth:`typo` with the given probability."""
+        if self.rng.random() < probability:
+            return self.typo(word)
+        return word
+
+    def corrupt_phrase(self, phrase: str, word_probability: float) -> str:
+        """Typo each word of a phrase independently."""
+        return " ".join(
+            self.maybe_typo(word, word_probability) for word in phrase.split()
+        )
+
+    def digit_error(self, value: str, probability: float) -> str:
+        """Replace one digit with another (zip codes, phones, years)."""
+        digits = [i for i, ch in enumerate(value) if ch.isdigit()]
+        if not digits or self.rng.random() >= probability:
+            return value
+        position = self.rng.choice(digits)
+        replacement = self.rng.choice("0123456789".replace(value[position], ""))
+        return value[:position] + replacement + value[position + 1:]
+
+    # -- token-level operations ---------------------------------------------------
+
+    def abbreviate(self, name: str) -> str:
+        """'george papadakis' -> 'g papadakis' (citation-style)."""
+        words = name.split()
+        if len(words) < 2:
+            return name
+        return " ".join([words[0][0]] + words[1:])
+
+    def drop_words(self, phrase: str, probability: float) -> str:
+        """Drop each word independently, always keeping at least one."""
+        words = phrase.split()
+        kept = [w for w in words if self.rng.random() >= probability]
+        if not kept and words:
+            kept = [self.rng.choice(words)]
+        return " ".join(kept)
+
+    def shuffle_words(self, phrase: str, probability: float) -> str:
+        """Reorder the words of a phrase with the given probability."""
+        words = phrase.split()
+        if len(words) > 1 and self.rng.random() < probability:
+            self.rng.shuffle(words)
+        return " ".join(words)
+
+    def swap_value(
+        self, value: str, pool: Sequence[str], probability: float
+    ) -> str:
+        """Replace the value with a random pool member (wrong-field noise)."""
+        if self.rng.random() < probability and pool:
+            return self.rng.choice(list(pool))
+        return value
+
+    # -- attribute-level operations -----------------------------------------------
+
+    def keep_attribute(self, probability_present: float) -> bool:
+        """Whether an optional attribute survives into this record."""
+        return self.rng.random() < probability_present

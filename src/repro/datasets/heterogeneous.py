@@ -1,0 +1,359 @@
+"""Synthetic stand-ins for the three large, heterogeneous datasets.
+
+All three are Clean-clean ER tasks built at a configurable linear scale
+(defaults in :mod:`repro.datasets.registry`; the paper's originals range
+from 51k to 7.9M profiles).  What matters for reproduction is each
+dataset's *noise regime*, which the generators encode explicitly:
+
+* **movies** - two curated sources (imdb-like vs dbpedia-like) with
+  different schemas but strong token overlap between matches;
+* **dbpedia** - two snapshots of the same source, two years apart, sharing
+  only ~25% of their name-value pairs (attribute renames + value drift);
+* **freebase** - RDF data whose values are URIs and schema keywords:
+  opaque machine ids, high-frequency vocabulary tokens and URI prefixes
+  pollute the alphabetically-sorted Neighbor List (breaking the
+  similarity principle) while matches still share medium-frequency
+  label tokens (keeping the equality principle alive).  This reproduces
+  Figure 11c: PBS robust, LS/GS-PSN no better than naive SA-PSN.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.profiles import ERType
+from repro.datasets import lexicon
+from repro.datasets.base import Dataset, scaled, shuffled_store
+from repro.datasets.corruption import Corruptor
+
+Record = tuple[list[tuple[str, str]], int, int]
+
+
+# ---------------------------------------------------------------------------
+# movies - 27615/23182 profiles, 4/7 attributes, 22863 matches, 7.11 pairs
+# ---------------------------------------------------------------------------
+
+def generate_movies(scale: float = 0.04, seed: int = 0) -> Dataset:
+    """imdb-like vs dbpedia-like movie catalogs (Clean-clean ER)."""
+    rng = random.Random(f"movies-{seed}")
+    noise = Corruptor(rng)
+    left_total = scaled(27615, scale, minimum=60)
+    right_total = scaled(23182, scale, minimum=50)
+    match_total = min(scaled(22863, scale, minimum=40), left_total, right_total)
+
+    title_pool = lexicon.MOVIE_WORDS + lexicon.synthesize_words(700, rng)
+    people_pool = [
+        f"{rng.choice(lexicon.FIRST_NAMES)} {rng.choice(lexicon.SURNAMES)}"
+        for _ in range(max(200, left_total // 3))
+    ]
+
+    def base_movie() -> dict[str, object]:
+        return {
+            "title": " ".join(rng.sample(title_pool, rng.randint(2, 3))),
+            "year": str(rng.randint(1950, 2017)),
+            "director": rng.choice(people_pool),
+            "actors": rng.sample(people_pool, rng.randint(3, 4)),
+            "genre": rng.choice(lexicon.MOVIE_GENRES),
+            "country": rng.choice(lexicon.CITIES),
+            "runtime": str(rng.randint(80, 190)),
+        }
+
+    def imdb_record(movie: dict[str, object]) -> list[tuple[str, str]]:
+        pairs = [
+            ("title", str(movie["title"])),
+            ("year", str(movie["year"])),
+            ("director", str(movie["director"])),
+        ]
+        pairs.extend(("actor", actor) for actor in movie["actors"])
+        return pairs
+
+    def dbpedia_record(movie: dict[str, object]) -> list[tuple[str, str]]:
+        title = str(movie["title"])
+        if rng.random() < 0.25:
+            title += " film"  # dbpedia-style disambiguation suffix
+        title = noise.corrupt_phrase(title, 0.05)
+        month, day = rng.randint(1, 12), rng.randint(1, 28)
+        pairs = [
+            ("name", title),
+            ("releaseDate", f"{movie['year']}-{month:02d}-{day:02d}"),
+            ("director", noise.corrupt_phrase(str(movie["director"]), 0.05)),
+            ("genre", str(movie["genre"])),
+            ("runtime", str(movie["runtime"])),
+            ("country", str(movie["country"])),
+        ]
+        actors = list(movie["actors"])
+        kept = max(2, len(actors) - 1)
+        pairs.extend(("starring", actor) for actor in actors[:kept])
+        return pairs
+
+    records: list[Record] = []
+    for cluster_id in range(match_total):
+        movie = base_movie()
+        records.append((imdb_record(movie), cluster_id, 0))
+        records.append((dbpedia_record(movie), cluster_id, 1))
+    for _ in range(left_total - match_total):
+        records.append((imdb_record(base_movie()), -1, 0))
+    for _ in range(right_total - match_total):
+        records.append((dbpedia_record(base_movie()), -1, 1))
+
+    store, truth = shuffled_store(records, ERType.CLEAN_CLEAN, rng)
+    return Dataset(
+        name="movies",
+        store=store,
+        ground_truth=truth,
+        description="imdb vs dbpedia movie catalogs, Clean-clean ER",
+        scale=scale,
+        paper_stats={
+            "er_type": "clean-clean",
+            "profiles": 50797,
+            "profiles_by_source": (27615, 23182),
+            "attributes_by_source": (4, 7),
+            "matches": 22863,
+            "mean_pairs": 7.11,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# dbpedia - 1.19M/2.16M profiles, 30k/50k attributes, 893k matches
+# ---------------------------------------------------------------------------
+
+def generate_dbpedia(scale: float = 0.002, seed: int = 0) -> Dataset:
+    """Two DBpedia snapshots sharing only ~25% of their name-value pairs."""
+    rng = random.Random(f"dbpedia-{seed}")
+    noise = Corruptor(rng)
+    left_total = scaled(1190000, scale, minimum=80)
+    right_total = scaled(2164000, scale, minimum=100)
+    match_total = min(scaled(892579, scale, minimum=50), left_total, right_total)
+
+    # Attribute variety grows with scale, echoing the 30k/50k infobox
+    # properties of the real snapshots.
+    extra_2007 = lexicon.synthesize_words(max(10, left_total // 40), rng)
+    extra_2009 = lexicon.synthesize_words(max(16, right_total // 40), rng)
+    properties_2007 = lexicon.DBPEDIA_PROPERTIES_2007 + [
+        f"infobox_{word}" for word in extra_2007
+    ]
+    properties_2009 = lexicon.DBPEDIA_PROPERTIES_2009 + [
+        f"property_{word}" for word in extra_2009
+    ]
+    # Property rename map: the i-th 2007 base property becomes the i-th
+    # 2009 one; only a minority keeps its name across snapshots.
+    rename = dict(zip(lexicon.DBPEDIA_PROPERTIES_2007, lexicon.DBPEDIA_PROPERTIES_2009))
+
+    value_pool = (
+        lexicon.synthesize_words(2000, rng)
+        + lexicon.CITIES
+        + lexicon.SURNAMES
+        + lexicon.MOVIE_WORDS
+    )
+    name_pool = lexicon.synthesize_words(max(400, (left_total + right_total) // 3), rng)
+
+    def base_entity() -> dict[str, object]:
+        property_count = rng.randint(11, 17)
+        return {
+            "name": " ".join(rng.sample(name_pool, rng.randint(1, 3))),
+            "properties": [
+                (rng.choice(properties_2007), rng.choice(value_pool))
+                for _ in range(property_count)
+            ],
+        }
+
+    def snapshot_2007(entity: dict[str, object]) -> list[tuple[str, str]]:
+        pairs = [("name", str(entity["name"]))]
+        pairs.extend(entity["properties"])
+        return pairs
+
+    def snapshot_2009(entity: dict[str, object]) -> list[tuple[str, str]]:
+        # ~25% of name-value pairs survive verbatim: the rest see the
+        # property renamed, the value replaced, or both; some properties
+        # vanish and new 2009-only ones appear.
+        name = str(entity["name"])
+        if rng.random() < 0.1:
+            name = noise.corrupt_phrase(name, 0.3)
+        pairs = [("name", name)]
+        for prop, value in entity["properties"]:
+            roll = rng.random()
+            if roll < 0.25:
+                pairs.append((prop, value))  # unchanged pair
+            elif roll < 0.55:
+                pairs.append((rename.get(prop, prop), value))  # renamed
+            elif roll < 0.80:
+                pairs.append((prop, rng.choice(value_pool)))  # value drift
+            # else: property dropped in the new snapshot
+        for _ in range(rng.randint(2, 5)):  # 2009-only additions
+            pairs.append((rng.choice(properties_2009), rng.choice(value_pool)))
+        return pairs
+
+    records: list[Record] = []
+    for cluster_id in range(match_total):
+        entity = base_entity()
+        records.append((snapshot_2007(entity), cluster_id, 0))
+        records.append((snapshot_2009(entity), cluster_id, 1))
+    for _ in range(left_total - match_total):
+        records.append((snapshot_2007(base_entity()), -1, 0))
+    for _ in range(right_total - match_total):
+        records.append((snapshot_2009(base_entity()), -1, 1))
+
+    store, truth = shuffled_store(records, ERType.CLEAN_CLEAN, rng)
+    return Dataset(
+        name="dbpedia",
+        store=store,
+        ground_truth=truth,
+        description="DBpedia 2007 vs 2009 snapshots, Clean-clean ER",
+        scale=scale,
+        paper_stats={
+            "er_type": "clean-clean",
+            "profiles": 3354000,
+            "profiles_by_source": (1190000, 2164000),
+            "attributes_by_source": (30688, 52489),
+            "matches": 892579,
+            "mean_pairs": 15.47,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# freebase - 4.16M/3.7M profiles, 37k/11k attributes, 1.5M matches
+# ---------------------------------------------------------------------------
+
+def generate_freebase(scale: float = 0.001, seed: int = 0) -> Dataset:
+    """Freebase vs DBpedia RDF entities (Clean-clean ER).
+
+    The adversarial case for the similarity principle: profiles are mostly
+    URIs and RDF keywords whose alphabetical order is meaningless.
+    """
+    rng = random.Random(f"freebase-{seed}")
+    left_total = scaled(4157000, scale, minimum=80)
+    right_total = scaled(3700000, scale, minimum=80)
+    match_total = min(scaled(1500000, scale, minimum=50), left_total, right_total)
+
+    # Two kinds of match evidence, mirroring real RDF data:
+    # * a quasi-unique URI slug per entity (the wiki key) that both sides
+    #   carry for ~60% of matches - document frequency 2, i.e. a tiny,
+    #   highly distinctive block that the equality principle nails;
+    # * high-frequency label words (df ~ 50: 'berlin' occurs in everything
+    #   related to Berlin) whose Neighbor List runs are far longer than
+    #   any realistic window, so the similarity principle starves - the
+    #   matches are almost never within window distance inside those runs.
+    entity_count = left_total + right_total - match_total
+    label_vocab = lexicon.synthesize_words(
+        max(40, round(entity_count * 2.5 / 50)), rng
+    )
+    slug_words = lexicon.synthesize_words(max(40, entity_count // 50), rng)
+    # Separate junk vocabulary for wiki links and subjects: it must not
+    # collide with label tokens, or label blocks would blow up and bury
+    # the equality evidence.
+    link_vocab = lexicon.synthesize_words(max(80, entity_count // 4), rng)
+    type_vocab = [
+        "film", "person", "location", "organization", "music", "artist",
+        "book", "event", "award", "species", "building", "sports",
+    ]
+    freebase_props = lexicon.RDF_PREDICATES + [
+        f"ns:{rng.choice(type_vocab)}.{word}"
+        for word in lexicon.synthesize_words(30, rng)
+    ]
+
+    def machine_id() -> str:
+        return "m.0" + "".join(
+            rng.choice("0123456789abcdefghijklmnopqrstuvwxyz") for _ in range(5)
+        )
+
+    slug_counter = [0]
+
+    def base_entity() -> dict[str, object]:
+        slug_counter[0] += 1
+        return {
+            "label": rng.sample(label_vocab, rng.randint(2, 3)),
+            "types": rng.sample(type_vocab, rng.randint(1, 2)),
+            "mid": machine_id(),
+            # Unique wiki-key slug, e.g. 'velto314' - df exactly 2 when
+            # both sides carry it.
+            "slug": f"{rng.choice(slug_words)}{slug_counter[0]}",
+            # ~60% of matches share the slug across sources; the rest must
+            # be resolved through the (much weaker) label evidence.
+            "slug_shared": rng.random() < 0.6,
+        }
+
+    def freebase_record(entity: dict[str, object]) -> list[tuple[str, str]]:
+        label = " ".join(entity["label"])
+        pairs = [
+            ("ns:type.object.id", f"ns:{entity['mid']}"),
+            ("ns:type.object.name", label),
+            ("rdfs:label", label),
+        ]
+        for type_name in entity["types"]:
+            pairs.append(("rdf:type", f"ns:{type_name}.{type_name}"))
+        # The wiki key carries the entity's unique slug; opaque machine-id
+        # links and schema keywords dominate the rest of the profile
+        # (~30 pairs on the freebase side).
+        pairs.append(("ns:type.object.key", f"/wikipedia/en/{entity['slug']}"))
+        for _ in range(rng.randint(21, 29)):
+            roll = rng.random()
+            if roll < 0.70:
+                pairs.append((rng.choice(freebase_props), f"ns:{machine_id()}"))
+            elif roll < 0.90:
+                pairs.append(
+                    ("ns:common.topic.notable_for", f"ns:{rng.choice(type_vocab)}")
+                )
+            else:
+                pairs.append(
+                    ("ns:common.topic.alias", rng.choice(entity["label"]))
+                )
+        return pairs
+
+    def dbpedia_record(entity: dict[str, object]) -> list[tuple[str, str]]:
+        label_tokens = list(entity["label"])
+        label = " ".join(label_tokens)
+        if entity["slug_shared"]:
+            uri_local = str(entity["slug"]).capitalize()
+        else:
+            uri_local = "_".join(token.capitalize() for token in label_tokens)
+        pairs = [
+            ("uri", f"http://dbpedia.org/resource/{uri_local}"),
+            ("rdfs:label", label),
+            ("foaf:name", label),
+        ]
+        for type_name in entity["types"]:
+            pairs.append(
+                ("rdf:type", f"http://dbpedia.org/ontology/{type_name.capitalize()}")
+            )
+        for _ in range(rng.randint(10, 16)):
+            roll = rng.random()
+            if roll < 0.6:
+                target = "_".join(
+                    token.capitalize()
+                    for token in rng.sample(link_vocab, rng.randint(1, 2))
+                )
+                pairs.append(
+                    ("dbo:wikiPageWikiLink", f"http://dbpedia.org/resource/{target}")
+                )
+            else:
+                pairs.append(("dcterms:subject", rng.choice(link_vocab)))
+        return pairs
+
+    records: list[Record] = []
+    for cluster_id in range(match_total):
+        entity = base_entity()
+        records.append((freebase_record(entity), cluster_id, 0))
+        records.append((dbpedia_record(entity), cluster_id, 1))
+    for _ in range(left_total - match_total):
+        records.append((freebase_record(base_entity()), -1, 0))
+    for _ in range(right_total - match_total):
+        records.append((dbpedia_record(base_entity()), -1, 1))
+
+    store, truth = shuffled_store(records, ERType.CLEAN_CLEAN, rng)
+    return Dataset(
+        name="freebase",
+        store=store,
+        ground_truth=truth,
+        description="Freebase vs DBpedia RDF entities, Clean-clean ER",
+        scale=scale,
+        paper_stats={
+            "er_type": "clean-clean",
+            "profiles": 7857000,
+            "profiles_by_source": (4157000, 3700000),
+            "attributes_by_source": (37825, 11466),
+            "matches": 1500000,
+            "mean_pairs": 24.54,
+        },
+    )

@@ -1,0 +1,241 @@
+"""Word pools for the synthetic dataset generators.
+
+The generators need realistic, *sortable* vocabulary: alphabetical
+proximity of typo'd strings is exactly what the similarity-based methods
+exploit, so placeholder tokens like ``value123`` would distort the
+experiments.  Base pools below are real-world words; where a generator
+needs more vocabulary than the pools provide (e.g. tens of thousands of
+distinct titles), :func:`synthesize_words` derives pronounceable
+pseudo-words deterministically from a seeded RNG.
+"""
+
+from __future__ import annotations
+
+import random
+
+FIRST_NAMES = [
+    "aaron", "abigail", "adam", "adrian", "alan", "albert", "alice", "amanda",
+    "amber", "amy", "andrea", "andrew", "angela", "anna", "anthony", "arthur",
+    "ashley", "barbara", "benjamin", "betty", "beverly", "billy", "bobby",
+    "brandon", "brenda", "brian", "bruce", "bryan", "carl", "carol", "carolyn",
+    "catherine", "charles", "charlotte", "cheryl", "christian", "christina",
+    "christine", "christopher", "cynthia", "daniel", "danielle", "david",
+    "deborah", "debra", "dennis", "diana", "diane", "donald", "donna",
+    "dorothy", "douglas", "dylan", "edward", "elijah", "elizabeth", "ellen",
+    "emily", "emma", "eric", "ethan", "eugene", "evelyn", "frances", "frank",
+    "gabriel", "gary", "george", "gerald", "gloria", "grace", "gregory",
+    "hannah", "harold", "heather", "helen", "hellen", "henry", "howard",
+    "isabella", "jack", "jacob", "jacqueline", "james", "janet", "janice",
+    "jason", "jean", "jeffrey", "jennifer", "jeremy", "jerry", "jesse",
+    "jessica", "joan", "joe", "john", "jonathan", "jordan", "jose", "joseph",
+    "joshua", "joyce", "juan", "judith", "judy", "julia", "julie", "justin",
+    "karen", "karl", "katherine", "kathleen", "kathryn", "keith", "kelly",
+    "kenneth", "kevin", "kimberly", "kyle", "larry", "laura", "lauren",
+    "lawrence", "linda", "lisa", "logan", "louis", "madison", "margaret",
+    "maria", "marie", "marilyn", "mark", "martha", "mary", "mason", "matthew",
+    "megan", "melissa", "michael", "michelle", "nancy", "natalie", "nathan",
+    "nicholas", "nicole", "noah", "olivia", "pamela", "patricia", "patrick",
+    "paul", "peter", "philip", "rachel", "ralph", "randy", "raymond",
+    "rebecca", "richard", "robert", "roger", "ronald", "rose", "roy",
+    "russell", "ruth", "ryan", "samantha", "samuel", "sandra", "sara",
+    "sarah", "scott", "sean", "sharon", "shirley", "sophia", "stephanie",
+    "stephen", "steven", "susan", "teresa", "terry", "theresa", "thomas",
+    "timothy", "tyler", "victoria", "vincent", "virginia", "walter", "wayne",
+    "william", "willie", "zachary",
+]
+
+SURNAMES = [
+    "adams", "alexander", "allen", "anderson", "bailey", "baker", "barnes",
+    "bell", "bennett", "brooks", "brown", "bryant", "butler", "campbell",
+    "carter", "castillo", "chavez", "clark", "coleman", "collins", "cook",
+    "cooper", "cox", "cruz", "davis", "diaz", "edwards", "evans", "fisher",
+    "flores", "foster", "garcia", "gibson", "gomez", "gonzalez", "gray",
+    "green", "griffin", "gutierrez", "hall", "hamilton", "harris", "harrison",
+    "hayes", "henderson", "hernandez", "hill", "howard", "hughes", "jackson",
+    "james", "jenkins", "jimenez", "johnson", "jones", "jordan", "kelly",
+    "kennedy", "kim", "king", "lee", "lewis", "long", "lopez", "marshall",
+    "martin", "martinez", "mcdonald", "medina", "mendoza", "miller",
+    "mitchell", "moore", "morales", "morgan", "morris", "murphy", "myers",
+    "nelson", "nguyen", "ortiz", "owens", "parker", "patel", "patterson",
+    "perez", "perry", "peterson", "phillips", "powell", "price", "ramirez",
+    "ramos", "reed", "reyes", "reynolds", "richardson", "rivera", "roberts",
+    "robinson", "rodriguez", "rogers", "ross", "ruiz", "russell", "sanchez",
+    "sanders", "scott", "simmons", "smith", "stewart", "sullivan", "taylor",
+    "thomas", "thompson", "torres", "turner", "walker", "wallace", "ward",
+    "washington", "watson", "west", "white", "williams", "wilson", "wood",
+    "wright", "young",
+]
+
+CITIES = [
+    "albany", "albuquerque", "atlanta", "austin", "baltimore", "boston",
+    "buffalo", "charlotte", "chicago", "cincinnati", "cleveland", "columbus",
+    "dallas", "denver", "detroit", "elpaso", "fresno", "hartford", "houston",
+    "indianapolis", "jacksonville", "kansascity", "lasvegas", "losangeles",
+    "louisville", "madison", "memphis", "mesa", "miami", "milwaukee",
+    "minneapolis", "nashville", "newark", "neworleans", "newyork", "oakland",
+    "oklahoma", "omaha", "orlando", "philadelphia", "phoenix", "pittsburgh",
+    "portland", "providence", "raleigh", "richmond", "sacramento", "saintlouis",
+    "saltlake", "sanantonio", "sandiego", "sanfrancisco", "sanjose", "seattle",
+    "spokane", "tampa", "tucson", "tulsa", "washington", "wichita",
+]
+
+STREETS = [
+    "adams", "birch", "broadway", "cedar", "cherry", "chestnut", "church",
+    "college", "dogwood", "elm", "forest", "franklin", "highland", "hickory",
+    "hill", "jackson", "jefferson", "lake", "laurel", "lincoln", "locust",
+    "madison", "magnolia", "main", "maple", "meadow", "mill", "monroe", "oak",
+    "park", "pine", "poplar", "prospect", "ridge", "river", "spring", "spruce",
+    "sunset", "sycamore", "valley", "walnut", "washington", "willow",
+]
+
+PROFESSIONS = [
+    "accountant", "architect", "baker", "carpenter", "cashier", "chef",
+    "clerk", "dentist", "doctor", "driver", "electrician", "engineer",
+    "farmer", "firefighter", "janitor", "lawyer", "librarian", "machinist",
+    "manager", "mechanic", "nurse", "painter", "pharmacist", "photographer",
+    "pilot", "plumber", "policeman", "professor", "programmer", "researcher",
+    "salesman", "secretary", "surgeon", "tailor", "teacher", "technician",
+    "veterinarian", "waiter", "welder", "writer",
+]
+
+CUISINES = [
+    "american", "bakery", "barbecue", "bistro", "brewery", "cafe", "cajun",
+    "chinese", "continental", "deli", "diner", "ethiopian", "french",
+    "fusion", "greek", "grill", "indian", "italian", "japanese", "korean",
+    "mediterranean", "mexican", "noodle", "pizzeria", "seafood", "southern",
+    "spanish", "steakhouse", "sushi", "tavern", "thai", "vegan", "vegetarian",
+    "vietnamese",
+]
+
+RESTAURANT_WORDS = [
+    "angel", "bamboo", "bella", "blue", "brick", "casa", "corner", "crown",
+    "dragon", "eagle", "empire", "garden", "gate", "golden", "grand", "green",
+    "harbor", "house", "iron", "jade", "kitchen", "lantern", "lucky", "luna",
+    "mango", "noble", "ocean", "olive", "palace", "pearl", "plaza", "river",
+    "rose", "royal", "ruby", "silver", "star", "stone", "sunset", "table",
+    "terrace", "tiger", "velvet", "village", "vine", "willow",
+]
+
+TITLE_WORDS = [
+    "adaptive", "aggregation", "algorithms", "analysis", "approach",
+    "approximate", "architectures", "automated", "bayesian", "benchmarking",
+    "bounds", "caching", "classification", "clustering", "complexity",
+    "compression", "computation", "concurrent", "constraints", "databases",
+    "decentralized", "deduplication", "detection", "discovery", "distributed",
+    "dynamic", "efficient", "entity", "estimation", "evaluation", "extraction",
+    "fast", "framework", "generation", "graphs", "heterogeneous", "heuristic",
+    "hierarchical", "incremental", "indexing", "inference", "integration",
+    "interactive", "joins", "knowledge", "large", "learning", "linkage",
+    "matching", "methods", "mining", "model", "networks", "optimization",
+    "parallel", "partitioning", "performance", "probabilistic", "processing",
+    "progressive", "quality", "queries", "ranking", "recognition", "records",
+    "recursive", "resolution", "retrieval", "robust", "scalable", "schema",
+    "search", "semantic", "similarity", "streams", "structures", "systems",
+    "techniques", "theory", "transactions", "uncertain", "web",
+]
+
+VENUES = [
+    "aaai", "acl", "cidr", "cikm", "computing surveys", "data engineering",
+    "edbt", "icde", "icdm", "icml", "ijcai", "information systems", "kdd",
+    "machine learning journal", "neurips", "pods", "pvldb", "sigir", "sigmod",
+    "tkde", "tods", "vldb", "vldb journal", "wsdm", "www",
+]
+
+PUBLISHERS = [
+    "acm press", "addison wesley", "cambridge university press", "elsevier",
+    "ieee computer society", "mit press", "morgan kaufmann", "oxford",
+    "prentice hall", "springer", "wiley",
+]
+
+MUSIC_WORDS = [
+    "acoustic", "anthem", "ballad", "blues", "breeze", "broken", "carnival",
+    "chrome", "crimson", "crystal", "dance", "dawn", "desert", "diamond",
+    "dream", "echo", "electric", "ember", "eternal", "fade", "fire", "forever",
+    "frozen", "ghost", "gravity", "heart", "hollow", "horizon", "hymn",
+    "lightning", "lonely", "midnight", "mirror", "moon", "neon", "night",
+    "ocean", "paradise", "phantom", "rain", "rebel", "requiem", "rhythm",
+    "river", "sapphire", "shadow", "silence", "skyline", "sorrow", "soul",
+    "spark", "static", "storm", "summer", "thunder", "twilight", "velvet",
+    "violet", "whisper", "wild", "winter", "wonder",
+]
+
+GENRES = [
+    "alternative", "ambient", "blues", "classical", "country", "dance",
+    "electronic", "folk", "funk", "gospel", "grunge", "hiphop", "indie",
+    "jazz", "latin", "metal", "opera", "pop", "punk", "reggae", "rock",
+    "soul", "soundtrack", "techno",
+]
+
+MOVIE_WORDS = [
+    "affair", "avenue", "battle", "beyond", "castle", "chronicles", "city",
+    "code", "crossing", "curse", "darkness", "daughter", "destiny", "edge",
+    "empire", "escape", "fall", "fortune", "game", "garden", "guardian",
+    "heart", "heist", "honor", "hunter", "island", "journey", "kingdom",
+    "last", "legacy", "legend", "letters", "lights", "lost", "masquerade",
+    "memory", "mission", "night", "paradise", "promise", "protocol", "queen",
+    "return", "rise", "road", "secret", "shadow", "silent", "sister", "song",
+    "stand", "station", "storm", "story", "stranger", "summer", "throne",
+    "tides", "tower", "voyage", "war", "watcher", "winter", "witness",
+]
+
+MOVIE_GENRES = [
+    "action", "adventure", "animation", "biography", "comedy", "crime",
+    "documentary", "drama", "family", "fantasy", "history", "horror",
+    "musical", "mystery", "romance", "scifi", "thriller", "war", "western",
+]
+
+# Infobox-style property names for the dbpedia-like snapshots.  The 2007 and
+# 2009 pools overlap only partially, reproducing the attribute drift that
+# leaves the two snapshots sharing ~25% of their name-value pairs.
+DBPEDIA_PROPERTIES_2007 = [
+    "abstract", "areaTotal", "birthDate", "birthPlace", "capital", "country",
+    "currency", "deathDate", "director", "elevation", "established",
+    "foundation", "genre", "industry", "label", "language", "leaderName",
+    "location", "name", "nationality", "occupation", "populationTotal",
+    "producer", "region", "releaseDate", "runtime", "starring", "successor",
+    "timezone", "writer",
+]
+
+DBPEDIA_PROPERTIES_2009 = [
+    "abstract", "area", "birthYear", "placeOfBirth", "capitalCity", "state",
+    "currencyCode", "deathYear", "directedBy", "altitude", "founded",
+    "foundedBy", "genre", "sector", "recordLabel", "spokenLanguage",
+    "leader", "situatedIn", "name", "citizenship", "profession",
+    "population", "producedBy", "district", "released", "duration", "cast",
+    "predecessor", "utcOffset", "author",
+]
+
+RDF_PREDICATES = [
+    "rdf:type", "rdfs:label", "owl:sameAs", "skos:prefLabel", "dc:title",
+    "dc:creator", "dcterms:subject", "foaf:name", "foaf:homepage",
+    "ns:common.topic.alias", "ns:common.topic.notable_for",
+    "ns:type.object.key", "ns:type.object.name", "ns:music.artist.genre",
+    "ns:people.person.profession", "ns:location.location.containedby",
+]
+
+_CONSONANTS = "bcdfghjklmnprstvz"
+_VOWELS = "aeiou"
+
+
+def synthesize_words(
+    count: int, rng: random.Random, min_syllables: int = 2, max_syllables: int = 4
+) -> list[str]:
+    """``count`` distinct pronounceable pseudo-words, deterministic per RNG.
+
+    Words are built from consonant-vowel syllables, so they sort and typo
+    like natural language - essential for the similarity-based methods.
+    """
+    words: list[str] = []
+    seen: set[str] = set()
+    while len(words) < count:
+        syllables = rng.randint(min_syllables, max_syllables)
+        word = "".join(
+            rng.choice(_CONSONANTS) + rng.choice(_VOWELS) for _ in range(syllables)
+        )
+        if rng.random() < 0.3:
+            word += rng.choice(_CONSONANTS)
+        if word in seen:
+            continue
+        seen.add(word)
+        words.append(word)
+    return words

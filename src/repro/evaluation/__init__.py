@@ -1,0 +1,24 @@
+"""Evaluation harness: recall progressiveness, AUC*, timing, reports."""
+
+from repro.evaluation.metrics import BlockingQuality, evaluate_blocking
+from repro.evaluation.progressive_recall import (
+    RecallCurve,
+    ideal_auc,
+    run_progressive,
+)
+from repro.evaluation.report import format_curve, format_table, sparkline
+from repro.evaluation.timing import TimedRun, measure_initialization, timed_run
+
+__all__ = [
+    "BlockingQuality",
+    "evaluate_blocking",
+    "RecallCurve",
+    "ideal_auc",
+    "run_progressive",
+    "format_curve",
+    "format_table",
+    "sparkline",
+    "TimedRun",
+    "measure_initialization",
+    "timed_run",
+]

@@ -1,0 +1,55 @@
+"""Batch blocking-quality metrics (used by the workflow ablations).
+
+Standard vocabulary from the blocking literature [19]:
+
+* **PC** (pairs completeness) - recall of the candidate pair set:
+  fraction of true matches that co-occur in at least one block;
+* **PQ** (pairs quality) - precision of the candidate pair set:
+  fraction of distinct candidate pairs that are true matches;
+* **RR** (reduction ratio) - fraction of the brute-force comparison
+  space the blocking avoids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.blocking.base import BlockCollection
+from repro.core.ground_truth import GroundTruth
+
+
+@dataclass(frozen=True)
+class BlockingQuality:
+    """PC / PQ / RR of one block collection against a ground truth."""
+
+    pairs_completeness: float
+    pairs_quality: float
+    reduction_ratio: float
+    candidate_pairs: int
+    aggregate_cardinality: int
+
+    def __str__(self) -> str:
+        return (
+            f"PC={self.pairs_completeness:.3f} PQ={self.pairs_quality:.3f} "
+            f"RR={self.reduction_ratio:.3f} "
+            f"(|pairs|={self.candidate_pairs}, ||B||={self.aggregate_cardinality})"
+        )
+
+
+def evaluate_blocking(
+    collection: BlockCollection, ground_truth: GroundTruth
+) -> BlockingQuality:
+    """Compute PC, PQ and RR for a block collection."""
+    pairs = collection.distinct_pairs()
+    matches = ground_truth.pairs
+    covered = len(pairs & matches)
+    total_matches = len(matches)
+    brute_force = collection.store.total_candidate_comparisons()
+    aggregate = collection.aggregate_cardinality()
+    return BlockingQuality(
+        pairs_completeness=covered / total_matches if total_matches else 0.0,
+        pairs_quality=covered / len(pairs) if pairs else 0.0,
+        reduction_ratio=1.0 - (aggregate / brute_force) if brute_force else 0.0,
+        candidate_pairs=len(pairs),
+        aggregate_cardinality=aggregate,
+    )

@@ -1,0 +1,21 @@
+"""Match functions and string similarity primitives."""
+
+from repro.matching.edit_distance import edit_similarity, levenshtein
+from repro.matching.jaccard import jaccard, jaccard_strings
+from repro.matching.match_functions import (
+    EditDistanceMatcher,
+    JaccardMatcher,
+    MatchFunction,
+    OracleMatcher,
+)
+
+__all__ = [
+    "edit_similarity",
+    "levenshtein",
+    "jaccard",
+    "jaccard_strings",
+    "EditDistanceMatcher",
+    "JaccardMatcher",
+    "MatchFunction",
+    "OracleMatcher",
+]

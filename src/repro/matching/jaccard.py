@@ -1,0 +1,24 @@
+"""Jaccard similarity - the paper's "cheap" match function (O(s + t))."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def jaccard(a: Iterable[str], b: Iterable[str]) -> float:
+    """Jaccard coefficient of two token collections.
+
+    ``|A ^ B| / |A u B|``; 1.0 when both are empty (identical emptiness).
+    """
+    set_a, set_b = set(a), set(b)
+    if not set_a and not set_b:
+        return 1.0
+    union = len(set_a | set_b)
+    if union == 0:
+        return 1.0
+    return len(set_a & set_b) / union
+
+
+def jaccard_strings(a: str, b: str) -> float:
+    """Jaccard over whitespace-split tokens of two strings."""
+    return jaccard(a.split(), b.split())

@@ -1,0 +1,180 @@
+"""Blocking Graph edge-weighting schemes from Meta-blocking [12, 20].
+
+Every scheme estimates the matching likelihood of a pair (p_i, p_j)
+exclusively from the blocks the two profiles share (the equality
+principle).  All schemes decompose into
+
+* a per-common-block ``contribution`` (so PBS/PPS can accumulate weights
+  while streaming over a block's or a profile's neighborhood), and
+* a ``finalize`` step normalizing the accumulated raw value.
+
+Implemented schemes:
+
+======  ======================================================================
+ARCS    sum over common blocks of 1/||b|| (the paper's default, Section 3.2)
+CBS     number of common blocks |B_i ^ B_j|
+ECBS    CBS * log(|B|/|B_i|) * log(|B|/|B_j|)
+JS      Jaccard of block lists: CBS / (|B_i| + |B_j| - CBS)
+EJS     JS * log(|E|/degree_i) * log(|E|/degree_j)  (degrees precomputed)
+======  ======================================================================
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+from repro.metablocking.profile_index import ProfileIndex
+
+
+class WeightingScheme(ABC):
+    """Edge weighting over a Profile Index."""
+
+    name: str = "abstract"
+
+    def __init__(self, index: ProfileIndex) -> None:
+        self.index = index
+
+    # -- streaming interface (used inside the progressive methods) ----------
+
+    @abstractmethod
+    def contribution(self, block_id: int) -> float:
+        """Weight contributed by one shared block."""
+
+    def finalize(self, i: int, j: int, raw: float) -> float:
+        """Normalize an accumulated raw weight for the pair (i, j)."""
+        return raw
+
+    # -- direct interface (used by the graph view and the tests) ------------
+
+    def weight(self, i: int, j: int) -> float:
+        """Edge weight of the pair, 0.0 when no block is shared."""
+        common = self.index.common_blocks(i, j)
+        if not common:
+            return 0.0
+        raw = sum(self.contribution(block_id) for block_id in common)
+        return self.finalize(i, j, raw)
+
+
+class ARCS(WeightingScheme):
+    """Aggregate Reciprocal Comparisons Scheme: sum of 1/||b_k||.
+
+    Smaller (more distinctive) shared blocks score higher; this is the
+    scheme the paper fixes for all equality-based experiments.
+    """
+
+    name = "ARCS"
+
+    def contribution(self, block_id: int) -> float:
+        cardinality = self.index.block_cardinalities[block_id]
+        if cardinality <= 0:
+            return 0.0
+        return 1.0 / cardinality
+
+
+class CBS(WeightingScheme):
+    """Common Blocks Scheme: the plain count of shared blocks."""
+
+    name = "CBS"
+
+    def contribution(self, block_id: int) -> float:
+        return 1.0
+
+
+class ECBS(CBS):
+    """Enhanced CBS: discounts profiles that appear in many blocks."""
+
+    name = "ECBS"
+
+    def finalize(self, i: int, j: int, raw: float) -> float:
+        total = self.index.block_count()
+        bi = len(self.index.blocks_of(i))
+        bj = len(self.index.blocks_of(j))
+        if not bi or not bj or total == 0:
+            return 0.0
+        return raw * math.log(total / bi) * math.log(total / bj)
+
+
+class JS(CBS):
+    """Jaccard Scheme over the two profiles' block-id lists."""
+
+    name = "JS"
+
+    def finalize(self, i: int, j: int, raw: float) -> float:
+        bi = len(self.index.blocks_of(i))
+        bj = len(self.index.blocks_of(j))
+        union = bi + bj - raw
+        if union <= 0:
+            return 0.0
+        return raw / union
+
+
+class EJS(JS):
+    """Enhanced JS: JS discounted by node degrees in the Blocking Graph.
+
+    Degrees (distinct co-occurring profiles per node) and the total edge
+    count |E| are computed once, lazily, with a full pass over the blocks -
+    the same pre-pass any streaming EJS implementation needs.
+    """
+
+    name = "EJS"
+
+    def __init__(self, index: ProfileIndex) -> None:
+        super().__init__(index)
+        self._degrees: dict[int, int] | None = None
+        self._edge_count: int = 0
+
+    def _ensure_degrees(self) -> None:
+        if self._degrees is not None:
+            return
+        degrees: dict[int, int] = {}
+        edges = 0
+        er_type = self.index.store.er_type
+        for block in self.index.collection.blocks:
+            for comparison in block.comparisons(er_type):
+                if not self.index.is_first_encounter(
+                    comparison.i, comparison.j, block.block_id
+                ):
+                    continue
+                degrees[comparison.i] = degrees.get(comparison.i, 0) + 1
+                degrees[comparison.j] = degrees.get(comparison.j, 0) + 1
+                edges += 1
+        self._degrees = degrees
+        self._edge_count = edges
+
+    def finalize(self, i: int, j: int, raw: float) -> float:
+        jaccard = super().finalize(i, j, raw)
+        if jaccard == 0.0:
+            return 0.0
+        self._ensure_degrees()
+        assert self._degrees is not None
+        di = self._degrees.get(i, 0)
+        dj = self._degrees.get(j, 0)
+        if not di or not dj or not self._edge_count:
+            return 0.0
+        return (
+            jaccard
+            * math.log(self._edge_count / di)
+            * math.log(self._edge_count / dj)
+        )
+
+
+_SCHEMES: dict[str, type[WeightingScheme]] = {
+    cls.name: cls for cls in (ARCS, CBS, ECBS, JS, EJS)
+}
+
+
+def available_schemes() -> list[str]:
+    """Names of all registered weighting schemes."""
+    return sorted(_SCHEMES)
+
+
+def make_scheme(name: str, index: ProfileIndex) -> WeightingScheme:
+    """Instantiate a scheme by name (case-insensitive)."""
+    try:
+        cls = _SCHEMES[name.upper()]
+    except KeyError:
+        raise ValueError(
+            f"unknown weighting scheme {name!r}; available: {available_schemes()}"
+        ) from None
+    return cls(index)

@@ -1,0 +1,117 @@
+"""The two-phase progressive method contract (Section 3.1).
+
+Every progressive method splits into:
+
+* an **initialization phase** - builds the method's data structures and
+  produces the overall best comparison; runs exactly once;
+* an **emission phase** - returns the next best comparison on each call,
+  refilling an internal Comparison List when it runs empty.
+
+:class:`ProgressiveMethod` encodes this as: ``initialize()`` (idempotent,
+measurable by the timing harness) plus the iterator protocol /
+``next_comparison()`` for emission.  Subclasses implement ``_setup()`` and
+the ``_emit()`` generator.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Iterator
+
+from repro.core.comparisons import Comparison
+from repro.core.profiles import ProfileStore
+
+
+class ProgressiveMethod(ABC):
+    """Base class for all progressive ER methods.
+
+    Subclasses must set a class-level ``name`` (the acronym used in the
+    paper) and implement ``_setup`` (initialization phase) and ``_emit``
+    (a generator yielding comparisons in non-increasing estimated matching
+    likelihood until the method's search space is exhausted).
+    """
+
+    name: str = "abstract"
+
+    def __init__(self, store: ProfileStore) -> None:
+        self.store = store
+        self._initialized = False
+        self._emitter: Iterator[Comparison] | None = None
+
+    # -- initialization phase ------------------------------------------------
+
+    def initialize(self) -> None:
+        """Build the method's data structures (idempotent)."""
+        if not self._initialized:
+            self._setup()
+            self._initialized = True
+
+    @abstractmethod
+    def _setup(self) -> None:
+        """Initialization phase body (runs once)."""
+
+    # -- emission phase --------------------------------------------------------
+
+    @abstractmethod
+    def _emit(self) -> Iterator[Comparison]:
+        """Yield comparisons from most to least promising."""
+
+    def __iter__(self) -> Iterator[Comparison]:
+        self.initialize()
+        return self._emit()
+
+    def next_comparison(self) -> Comparison | None:
+        """Emit the next best comparison, or None when exhausted.
+
+        Step-wise counterpart of the iterator protocol for callers that
+        interleave emissions with their own control flow (e.g. a time
+        budget loop).
+        """
+        if self._emitter is None:
+            self._emitter = iter(self)
+        return next(self._emitter, None)
+
+    def reset(self) -> None:
+        """Forget all emission progress (initialization is kept)."""
+        self._emitter = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "initialized" if self._initialized else "fresh"
+        return f"{type(self).__name__}({state}, |P|={len(self.store)})"
+
+
+MethodFactory = Callable[..., ProgressiveMethod]
+
+_REGISTRY: dict[str, MethodFactory] = {}
+
+
+def register_method(name: str) -> Callable[[type], type]:
+    """Class decorator registering a method under its paper acronym."""
+
+    def decorator(cls: type) -> type:
+        _REGISTRY[name.upper()] = cls
+        return cls
+
+    return decorator
+
+
+def available_methods() -> list[str]:
+    """Acronyms of all registered progressive methods."""
+    return sorted(_REGISTRY)
+
+
+def build_method(name: str, store: ProfileStore, **kwargs) -> ProgressiveMethod:
+    """Instantiate a progressive method by its paper acronym.
+
+    Examples
+    --------
+    >>> from repro.progressive import build_method
+    >>> method = build_method("PPS", store, weighting="ARCS")  # doctest: +SKIP
+    """
+    try:
+        factory = _REGISTRY[name.upper().replace("-", "")]
+    except KeyError:
+        raise ValueError(
+            f"unknown progressive method {name!r}; available: {available_methods()}"
+        ) from None
+    return factory(store, **kwargs)

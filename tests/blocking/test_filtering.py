@@ -1,0 +1,92 @@
+"""Unit tests for Block Filtering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blocking.base import Block, BlockCollection
+from repro.blocking.filtering import BlockFiltering
+from repro.core.profiles import ProfileStore
+
+
+def store_of(n: int) -> ProfileStore:
+    return ProfileStore.from_attribute_maps([{"a": str(i)} for i in range(n)])
+
+
+class TestBlockFiltering:
+    def test_profile_keeps_its_smallest_blocks(self):
+        store = store_of(8)
+        # Profile 0 appears in three blocks of growing size.
+        blocks = BlockCollection(
+            [
+                Block("small", [0, 1], store),
+                Block("medium", [0, 1, 2, 3], store),
+                Block("large", [0, 1, 2, 3, 4, 5], store),
+            ],
+            store,
+        )
+        filtered = BlockFiltering(ratio=0.67).apply(blocks)
+        keys_with_zero = {b.key for b in filtered if 0 in b.ids}
+        # ceil(0.67 * 3) = 3... use a tighter ratio for the assertion below.
+        filtered = BlockFiltering(ratio=0.5).apply(blocks)
+        keys_with_zero = {b.key for b in filtered if 0 in b.ids}
+        assert keys_with_zero == {"small", "medium"}  # ceil(0.5*3)=2 smallest
+
+    def test_every_profile_keeps_at_least_one_block(self):
+        store = store_of(4)
+        blocks = BlockCollection([Block("only", [0, 1, 2, 3], store)], store)
+        filtered = BlockFiltering(ratio=0.1).apply(blocks)
+        # ceil(0.1 * 1) = 1: the sole block survives with all its profiles.
+        assert len(filtered) == 1
+        assert set(filtered[0].ids) == {0, 1, 2, 3}
+
+    def test_shrunken_blocks_are_rebuilt_not_dropped(self):
+        store = store_of(6)
+        blocks = BlockCollection(
+            [
+                Block("a", [0, 1], store),
+                Block("b", [2, 3], store),
+                Block("big", [0, 1, 2, 3, 4, 5], store),
+            ],
+            store,
+        )
+        filtered = BlockFiltering(ratio=0.5).apply(blocks)
+        members = {b.key: set(b.ids) for b in filtered}
+        # 0..3 keep only their small block; 4 and 5 keep 'big'.
+        assert members == {"a": {0, 1}, "b": {2, 3}, "big": {4, 5}}
+
+    def test_blocks_reduced_below_two_profiles_vanish(self):
+        store = store_of(4)
+        blocks = BlockCollection(
+            [
+                Block("a", [0, 1], store),
+                Block("b", [0, 2, 3], store),
+                Block("c", [0, 2, 3], store),
+                Block("d", [0, 2, 3], store),
+            ],
+            store,
+        )
+        filtered = BlockFiltering(ratio=0.25).apply(blocks)
+        # Profile 0 keeps only 'a' (its smallest of 4); 2, 3 keep 'b'.
+        members = {b.key: set(b.ids) for b in filtered}
+        assert "a" in members and members["a"] == {0, 1}
+
+    def test_paper_default_eighty_percent(self):
+        assert BlockFiltering().ratio == 0.8
+
+    @pytest.mark.parametrize("ratio", [0.0, 1.0001, -1])
+    def test_invalid_ratio(self, ratio):
+        with pytest.raises(ValueError):
+            BlockFiltering(ratio)
+
+    def test_clean_clean_blocks_losing_a_source_vanish(self, tiny_clean_clean):
+        blocks = BlockCollection(
+            [
+                Block("a", [0, 3], tiny_clean_clean),
+                Block("b", [0, 1, 2, 3, 4, 5], tiny_clean_clean),
+            ],
+            tiny_clean_clean,
+        )
+        filtered = BlockFiltering(ratio=0.5).apply(blocks)
+        for block in filtered:
+            assert block.left_ids and block.right_ids

@@ -1,0 +1,56 @@
+"""Unit tests for Block Purging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blocking.base import Block, BlockCollection
+from repro.blocking.purging import BlockPurging
+from repro.core.profiles import ProfileStore
+
+
+def store_of(n: int) -> ProfileStore:
+    return ProfileStore.from_attribute_maps([{"a": str(i)} for i in range(n)])
+
+
+class TestBlockPurging:
+    def test_drops_stopword_blocks(self):
+        store = store_of(20)
+        blocks = BlockCollection(
+            [
+                Block("rare", [0, 1], store),
+                Block("stopword", list(range(5)), store),  # 25% of profiles
+            ],
+            store,
+        )
+        purged = BlockPurging(0.1).apply(blocks)
+        assert [b.key for b in purged] == ["rare"]
+
+    def test_boundary_is_inclusive(self):
+        """A block with exactly ratio*|P| profiles survives."""
+        store = store_of(20)
+        blocks = BlockCollection([Block("edge", [0, 1], store)], store)
+        purged = BlockPurging(0.1).apply(blocks)  # limit = 2 profiles
+        assert len(purged) == 1
+
+    def test_paper_default_ten_percent(self):
+        store = store_of(100)
+        blocks = BlockCollection(
+            [
+                Block("ok", list(range(10)), store),
+                Block("gone", list(range(11)), store),
+            ],
+            store,
+        )
+        purged = BlockPurging().apply(blocks)
+        assert [b.key for b in purged] == ["ok"]
+
+    @pytest.mark.parametrize("ratio", [0.0, -0.5, 1.5])
+    def test_invalid_ratio(self, ratio):
+        with pytest.raises(ValueError):
+            BlockPurging(ratio)
+
+    def test_ratio_one_keeps_everything(self):
+        store = store_of(4)
+        blocks = BlockCollection([Block("all", [0, 1, 2, 3], store)], store)
+        assert len(BlockPurging(1.0).apply(blocks)) == 1

@@ -1,0 +1,48 @@
+"""Unit tests for Block Scheduling."""
+
+from __future__ import annotations
+
+from repro.blocking.base import Block, BlockCollection
+from repro.blocking.scheduling import block_scheduling, block_weight
+from repro.core.profiles import ProfileStore
+
+
+class TestBlockScheduling:
+    def test_sorts_by_ascending_cardinality(self):
+        store = ProfileStore.from_attribute_maps([{"a": str(i)} for i in range(8)])
+        blocks = BlockCollection(
+            [
+                Block("big", [0, 1, 2, 3], store),  # 6 comparisons
+                Block("small", [4, 5], store),  # 1 comparison
+                Block("mid", [0, 5, 6], store),  # 3 comparisons
+            ],
+            store,
+        )
+        scheduled = block_scheduling(blocks)
+        assert [b.key for b in scheduled] == ["small", "mid", "big"]
+
+    def test_positional_ids_assigned(self):
+        store = ProfileStore.from_attribute_maps([{"a": str(i)} for i in range(4)])
+        blocks = BlockCollection(
+            [Block("b", [0, 1, 2], store), Block("a", [0, 1], store)], store
+        )
+        scheduled = block_scheduling(blocks)
+        assert [b.block_id for b in scheduled] == [0, 1]
+        assert scheduled[0].key == "a"
+
+    def test_equal_cardinality_ties_broken_by_key(self):
+        store = ProfileStore.from_attribute_maps([{"a": str(i)} for i in range(4)])
+        blocks = BlockCollection(
+            [Block("zeta", [0, 1], store), Block("alpha", [2, 3], store)], store
+        )
+        scheduled = block_scheduling(blocks)
+        assert [b.key for b in scheduled] == ["alpha", "zeta"]
+
+
+class TestBlockWeight:
+    def test_inverse_cardinality(self):
+        assert block_weight(4) == 0.25
+        assert block_weight(1) == 1.0
+
+    def test_degenerate_cardinality(self):
+        assert block_weight(0) == 0.0

@@ -1,0 +1,43 @@
+"""Unit tests for the Token Blocking workflow (Section 7 configuration)."""
+
+from __future__ import annotations
+
+from repro.blocking.workflow import token_blocking_workflow
+from repro.core.profiles import ProfileStore
+
+
+def noisy_store() -> ProfileStore:
+    """20 profiles: all share 'common' (stop word), pairs share rare tokens."""
+    records = []
+    for i in range(10):
+        records.append({"a": f"common rare{i} extra{i}"})
+        records.append({"a": f"common rare{i} other{i}"})
+    return ProfileStore.from_attribute_maps(records)
+
+
+class TestTokenBlockingWorkflow:
+    def test_purging_removes_stop_word_block(self):
+        blocks = token_blocking_workflow(noisy_store())
+        assert "common" not in {b.key for b in blocks}
+
+    def test_rare_blocks_survive(self):
+        blocks = token_blocking_workflow(noisy_store())
+        keys = {b.key for b in blocks}
+        assert "rare0" in keys and "rare9" in keys
+
+    def test_skipping_steps(self):
+        blocks = token_blocking_workflow(
+            noisy_store(), purge_ratio=None, filter_ratio=None
+        )
+        assert "common" in {b.key for b in blocks}
+
+    def test_all_blocks_yield_comparisons(self):
+        store = noisy_store()
+        for block in token_blocking_workflow(store):
+            assert block.cardinality(store.er_type) > 0
+
+    def test_deterministic(self):
+        a = token_blocking_workflow(noisy_store())
+        b = token_blocking_workflow(noisy_store())
+        assert [blk.key for blk in a] == [blk.key for blk in b]
+        assert [blk.ids for blk in a] == [blk.ids for blk in b]

@@ -1,0 +1,97 @@
+"""Unit tests for Comparison, ComparisonList and SortedStack."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.comparisons import Comparison, ComparisonList, SortedStack
+
+
+class TestComparison:
+    def test_make_normalizes_order(self):
+        c = Comparison.make(5, 2, 0.7)
+        assert (c.i, c.j) == (2, 5)
+        assert c.pair == (2, 5)
+        assert c.weight == 0.7
+
+    def test_make_rejects_self_comparison(self):
+        with pytest.raises(ValueError):
+            Comparison.make(3, 3)
+
+
+class TestComparisonList:
+    def test_remove_first_returns_highest_weight(self):
+        clist = ComparisonList()
+        clist.add(Comparison(0, 1, 0.2))
+        clist.add(Comparison(2, 3, 0.9))
+        clist.add(Comparison(4, 5, 0.5))
+        assert clist.remove_first().pair == (2, 3)
+        assert clist.remove_first().pair == (4, 5)
+        assert clist.remove_first().pair == (0, 1)
+
+    def test_remove_first_on_empty_raises(self):
+        with pytest.raises(IndexError):
+            ComparisonList().remove_first()
+
+    def test_tie_break_is_deterministic(self):
+        clist = ComparisonList()
+        clist.add(Comparison(4, 5, 0.5))
+        clist.add(Comparison(0, 1, 0.5))
+        assert clist.remove_first().pair == (0, 1)
+
+    def test_drain_empties_in_descending_order(self):
+        clist = ComparisonList(
+            [Comparison(0, 1, w) for w in (0.1, 0.9, 0.5)]
+        )
+        weights = [c.weight for c in clist.drain()]
+        assert weights == [0.9, 0.5, 0.1]
+        assert clist.is_empty()
+
+    def test_add_after_sort_resorts(self):
+        clist = ComparisonList([Comparison(0, 1, 0.5)])
+        assert clist.peek().weight == 0.5
+        clist.add(Comparison(2, 3, 0.8))
+        assert clist.remove_first().weight == 0.8
+
+    def test_len_and_iter(self):
+        clist = ComparisonList([Comparison(0, 1, 0.5), Comparison(1, 2, 0.6)])
+        assert len(clist) == 2
+        assert [c.weight for c in clist] == [0.6, 0.5]
+        # Iteration does not consume.
+        assert len(clist) == 2
+
+    def test_peek_on_empty_raises(self):
+        with pytest.raises(IndexError):
+            ComparisonList().peek()
+
+
+class TestSortedStack:
+    def test_pop_returns_lowest_weight(self):
+        stack = SortedStack()
+        stack.push(Comparison(0, 1, 0.9))
+        stack.push(Comparison(1, 2, 0.1))
+        stack.push(Comparison(2, 3, 0.5))
+        assert stack.pop().weight == 0.1
+        assert len(stack) == 2
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            SortedStack().pop()
+
+    def test_bounded_top_k_pattern(self):
+        """The PPS usage: keep the K highest by popping the lowest."""
+        stack = SortedStack()
+        k = 3
+        for weight in [0.5, 0.1, 0.9, 0.3, 0.7]:
+            stack.push(Comparison(0, int(weight * 10) + 1, weight))
+            if len(stack) > k:
+                stack.pop()
+        kept = sorted(c.weight for c in stack.drain_descending())
+        assert kept == [0.5, 0.7, 0.9]
+
+    def test_drain_descending(self):
+        stack = SortedStack()
+        for weight in (0.2, 0.8, 0.5):
+            stack.push(Comparison(0, 1, weight))
+        assert [c.weight for c in stack.drain_descending()] == [0.8, 0.5, 0.2]
+        assert len(stack) == 0

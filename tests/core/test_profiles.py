@@ -1,0 +1,116 @@
+"""Unit tests for the entity profile model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.profiles import EntityProfile, ERType, ProfileStore
+
+
+class TestEntityProfile:
+    def test_mapping_construction(self):
+        profile = EntityProfile(0, {"name": "carl", "city": "ny"})
+        assert profile.value("name") == "carl"
+        assert profile.value("city") == "ny"
+        assert len(profile) == 2
+
+    def test_mapping_with_multi_values(self):
+        profile = EntityProfile(0, {"actor": ["smith", "jones"]})
+        assert profile.values("actor") == ("smith", "jones")
+        assert len(profile) == 2
+
+    def test_pair_list_construction_preserves_order_and_repeats(self):
+        profile = EntityProfile(0, [("a", "x"), ("a", "y"), ("b", "x")])
+        assert profile.pairs == (("a", "x"), ("a", "y"), ("b", "x"))
+
+    def test_non_string_values_are_stringified(self):
+        profile = EntityProfile(0, {"year": 1999, "rating": 8.5})
+        assert profile.value("year") == "1999"
+        assert profile.value("rating") == "8.5"
+
+    def test_attribute_names_deduplicated_in_order(self):
+        profile = EntityProfile(0, [("b", "1"), ("a", "2"), ("b", "3")])
+        assert profile.attribute_names == ("b", "a")
+
+    def test_value_default_for_missing_attribute(self):
+        profile = EntityProfile(0, {"name": "x"})
+        assert profile.value("missing") == ""
+        assert profile.value("missing", "?") == "?"
+
+    def test_text_concatenates_all_values(self):
+        profile = EntityProfile(0, [("a", "hello"), ("b", "world")])
+        assert profile.text() == "hello world"
+
+    def test_equality_and_hash(self):
+        a = EntityProfile(0, {"x": "1"})
+        b = EntityProfile(0, {"x": "1"})
+        c = EntityProfile(1, {"x": "1"})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_equality_against_other_types(self):
+        assert EntityProfile(0, {}) != "not a profile"
+
+
+class TestProfileStore:
+    def test_requires_dense_ids(self):
+        with pytest.raises(ValueError, match="dense ids"):
+            ProfileStore([EntityProfile(5, {"a": "b"})])
+
+    def test_from_attribute_maps(self):
+        store = ProfileStore.from_attribute_maps([{"a": "1"}, {"a": "2"}])
+        assert len(store) == 2
+        assert store[1].value("a") == "2"
+        assert store.er_type is ERType.DIRTY
+
+    def test_from_attribute_maps_source_length_mismatch(self):
+        with pytest.raises(ValueError, match="align"):
+            ProfileStore.from_attribute_maps([{"a": "1"}], sources=[0, 1])
+
+    def test_clean_clean_assigns_sources_and_ids(self):
+        store = ProfileStore.clean_clean([{"a": "1"}], [{"b": "2"}, {"b": "3"}])
+        assert store.er_type is ERType.CLEAN_CLEAN
+        assert store.source_size(0) == 1
+        assert store.source_size(1) == 2
+        assert [p.profile_id for p in store] == [0, 1, 2]
+
+    def test_clean_clean_requires_two_sources(self):
+        profiles = [EntityProfile(0, {"a": "1"}, source=2)]
+        with pytest.raises(ValueError, match="sources 0 and 1"):
+            ProfileStore(profiles, ERType.CLEAN_CLEAN)
+
+    def test_valid_comparison_dirty(self):
+        store = ProfileStore.from_attribute_maps([{"a": "1"}, {"a": "2"}])
+        assert store.valid_comparison(0, 1)
+        assert not store.valid_comparison(1, 1)
+
+    def test_valid_comparison_clean_clean(self, tiny_clean_clean):
+        # Cross-source only.
+        assert tiny_clean_clean.valid_comparison(0, 3)
+        assert not tiny_clean_clean.valid_comparison(0, 1)
+        assert not tiny_clean_clean.valid_comparison(3, 4)
+
+    def test_total_candidate_comparisons_dirty(self):
+        store = ProfileStore.from_attribute_maps([{"a": str(i)} for i in range(5)])
+        assert store.total_candidate_comparisons() == 10
+
+    def test_total_candidate_comparisons_clean_clean(self, tiny_clean_clean):
+        assert tiny_clean_clean.total_candidate_comparisons() == 9
+
+    def test_source_ids(self, tiny_clean_clean):
+        assert tiny_clean_clean.source_ids(0) == [0, 1, 2]
+        assert tiny_clean_clean.source_ids(1) == [3, 4, 5]
+
+    def test_attribute_name_count(self, tiny_clean_clean):
+        # left: title, year; right: name, released.
+        assert tiny_clean_clean.attribute_name_count() == 4
+        by_source = tiny_clean_clean.attribute_name_count_by_source()
+        assert by_source == {0: 2, 1: 2}
+
+    def test_mean_pairs_per_profile(self):
+        store = ProfileStore.from_attribute_maps([{"a": "1"}, {"a": "1", "b": "2"}])
+        assert store.mean_pairs_per_profile() == pytest.approx(1.5)
+
+    def test_mean_pairs_empty_store(self):
+        assert ProfileStore([]).mean_pairs_per_profile() == 0.0

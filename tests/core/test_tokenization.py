@@ -1,0 +1,76 @@
+"""Unit tests for the attribute-value tokenizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.profiles import EntityProfile
+from repro.core.tokenization import (
+    DEFAULT_TOKENIZER,
+    Tokenizer,
+    suffixes,
+    token_stream,
+)
+
+
+class TestTokenizer:
+    def test_splits_on_non_alphanumerics(self):
+        assert DEFAULT_TOKENIZER.tokens("carl-white, NY!") == ["carl", "white", "ny"]
+
+    def test_uri_decomposition(self):
+        """URIs break into prefix and local-name tokens (Section 7.2)."""
+        tokens = DEFAULT_TOKENIZER.tokens("http://dbpedia.org/resource/Berlin")
+        assert tokens == ["http", "dbpedia", "org", "resource", "berlin"]
+
+    def test_lowercase_can_be_disabled(self):
+        tokenizer = Tokenizer(lowercase=False)
+        assert tokenizer.tokens("Carl NY") == ["Carl", "NY"]
+
+    def test_min_length_filter(self):
+        tokenizer = Tokenizer(min_length=3)
+        assert tokenizer.tokens("a bb ccc dddd") == ["ccc", "dddd"]
+
+    def test_numeric_filter(self):
+        tokenizer = Tokenizer(keep_numeric=False)
+        assert tokenizer.tokens("route 66 north") == ["route", "north"]
+        assert DEFAULT_TOKENIZER.tokens("route 66") == ["route", "66"]
+
+    def test_profile_tokens_spans_all_values(self):
+        profile = EntityProfile(0, [("a", "x y"), ("b", "y z")])
+        assert DEFAULT_TOKENIZER.profile_tokens(profile) == ["x", "y", "y", "z"]
+
+    def test_distinct_profile_tokens_order_preserving(self):
+        profile = EntityProfile(0, [("a", "x y"), ("b", "y z x")])
+        assert DEFAULT_TOKENIZER.distinct_profile_tokens(profile) == ["x", "y", "z"]
+
+    def test_empty_value(self):
+        assert DEFAULT_TOKENIZER.tokens("") == []
+        assert DEFAULT_TOKENIZER.tokens("...") == []
+
+
+class TestTokenStream:
+    def test_yields_distinct_tokens_per_profile(self):
+        profiles = [
+            EntityProfile(0, {"a": "x x y"}),
+            EntityProfile(1, {"a": "y"}),
+        ]
+        stream = list(token_stream(profiles))
+        assert stream == [("x", 0), ("y", 0), ("y", 1)]
+
+
+class TestSuffixes:
+    def test_all_suffixes_of_min_length(self):
+        assert suffixes("gain", 2) == ["gain", "ain", "in"]
+
+    def test_token_shorter_than_min_yields_nothing(self):
+        assert suffixes("ab", 3) == []
+
+    def test_exact_length_token(self):
+        assert suffixes("abc", 3) == ["abc"]
+
+    def test_min_length_one(self):
+        assert suffixes("ab", 1) == ["ab", "b"]
+
+    def test_invalid_min_length(self):
+        with pytest.raises(ValueError):
+            suffixes("abc", 0)

@@ -1,0 +1,90 @@
+"""Unit tests for dataset containers and shared helpers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.profiles import ERType
+from repro.datasets.base import Dataset, cluster_sizes, scaled, shuffled_store
+from repro.datasets.registry import load_dataset
+
+
+class TestScaled:
+    def test_rounding(self):
+        assert scaled(841, 1.0) == 841
+        assert scaled(841, 0.5) == 420
+        assert scaled(841, 0.001, minimum=10) == 10
+
+
+class TestClusterSizes:
+    @pytest.mark.parametrize(
+        "profiles,matches",
+        [(841, 344), (1295, 17184), (100, 10), (50, 0)],
+    )
+    def test_matches_hit_exactly(self, profiles, matches):
+        sizes = cluster_sizes(profiles, matches)
+        assert sum(s * (s - 1) // 2 for s in sizes) == matches
+        assert sum(sizes) <= profiles
+        assert all(s >= 2 for s in sizes)
+
+    def test_max_cluster_respected(self):
+        sizes = cluster_sizes(1295, 17184, max_cluster=50)
+        assert max(sizes) <= 50
+
+    def test_skewed_distribution(self):
+        """Big clusters first - the cora-like skew."""
+        sizes = cluster_sizes(1295, 17184, max_cluster=50)
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            cluster_sizes(-1, 5)
+
+
+class TestShuffledStore:
+    def test_dirty_ids_are_dense_and_shuffled(self):
+        rng = random.Random(0)
+        records = [({"a": str(i)}, i // 2, 0) for i in range(10)]
+        store, truth = shuffled_store(records, ERType.DIRTY, rng)
+        assert len(store) == 10
+        assert [p.profile_id for p in store] == list(range(10))
+        assert len(truth) == 5  # five pairs
+
+    def test_negative_cluster_means_unique(self):
+        rng = random.Random(0)
+        records = [({"a": "x"}, -1, 0), ({"a": "y"}, -1, 0)]
+        _, truth = shuffled_store(records, ERType.DIRTY, rng)
+        assert len(truth) == 0
+
+    def test_clean_clean_sources_grouped(self):
+        rng = random.Random(0)
+        records = [({"a": "x"}, 0, 1), ({"a": "y"}, 0, 0), ({"a": "z"}, -1, 1)]
+        store, truth = shuffled_store(records, ERType.CLEAN_CLEAN, rng)
+        assert store.source_of(0) == 0
+        assert store.source_of(1) == 1
+        assert store.source_of(2) == 1
+        assert len(truth) == 1
+
+    def test_ground_truth_respects_task_validity(self):
+        rng = random.Random(1)
+        records = [({"a": "x"}, 7, 0), ({"a": "x2"}, 7, 1)]
+        store, truth = shuffled_store(records, ERType.CLEAN_CLEAN, rng)
+        for i, j in truth:
+            assert store.valid_comparison(i, j)
+
+
+class TestDatasetStats:
+    def test_stats_keys(self):
+        dataset = load_dataset("census", scale=0.2)
+        stats = dataset.stats()
+        assert {"er_type", "profiles", "attributes", "matches", "mean_pairs"} <= set(
+            stats
+        )
+
+    def test_clean_clean_stats_include_sources(self):
+        dataset = load_dataset("movies", scale=0.01)
+        stats = dataset.stats()
+        assert "profiles_by_source" in stats
+        assert "attributes_by_source" in stats

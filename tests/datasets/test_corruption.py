@@ -1,0 +1,89 @@
+"""Unit tests for the noise injector."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datasets.corruption import Corruptor
+
+
+@pytest.fixture()
+def noise() -> Corruptor:
+    return Corruptor(random.Random(42))
+
+
+class TestTypo:
+    def test_single_edit_distance(self, noise):
+        from repro.matching.edit_distance import levenshtein
+
+        for _ in range(50):
+            word = "tailor"
+            corrupted = noise.typo(word)
+            assert levenshtein(word, corrupted) <= 2  # transpose counts as 2
+
+    def test_preserves_first_character(self, noise):
+        for _ in range(50):
+            assert noise.typo("white")[0] == "w"
+
+    def test_short_words_untouched(self, noise):
+        assert noise.typo("a") == "a"
+
+    def test_maybe_typo_probability_extremes(self, noise):
+        assert noise.maybe_typo("word", 0.0) == "word"
+        changed = sum(noise.maybe_typo("word", 1.0) != "word" for _ in range(20))
+        assert changed >= 15  # a typo may occasionally no-op via transpose
+
+
+class TestPhraseOperations:
+    def test_corrupt_phrase_word_count_preserved(self, noise):
+        phrase = "golden dragon palace"
+        assert len(noise.corrupt_phrase(phrase, 0.5).split()) == 3
+
+    def test_drop_words_keeps_at_least_one(self, noise):
+        for _ in range(20):
+            assert noise.drop_words("alpha beta", 0.99)
+
+    def test_shuffle_words_same_multiset(self, noise):
+        phrase = "one two three four"
+        shuffled = noise.shuffle_words(phrase, 1.0)
+        assert sorted(shuffled.split()) == sorted(phrase.split())
+
+
+class TestDigitError:
+    def test_changes_exactly_one_digit(self, noise):
+        value = "90210"
+        corrupted = noise.digit_error(value, 1.0)
+        diffs = sum(a != b for a, b in zip(value, corrupted))
+        assert diffs == 1
+        assert len(corrupted) == len(value)
+
+    def test_no_digits_is_noop(self, noise):
+        assert noise.digit_error("abc", 1.0) == "abc"
+
+    def test_zero_probability(self, noise):
+        assert noise.digit_error("123", 0.0) == "123"
+
+
+class TestAbbreviate:
+    def test_first_name_reduced_to_initial(self, noise):
+        assert noise.abbreviate("george papadakis") == "g papadakis"
+
+    def test_single_word_unchanged(self, noise):
+        assert noise.abbreviate("cher") == "cher"
+
+
+class TestSwapValue:
+    def test_swaps_from_pool(self, noise):
+        pool = ["x"]
+        assert noise.swap_value("orig", pool, 1.0) == "x"
+        assert noise.swap_value("orig", pool, 0.0) == "orig"
+
+
+class TestDeterminism:
+    def test_same_seed_same_noise(self):
+        a = Corruptor(random.Random(7))
+        b = Corruptor(random.Random(7))
+        words = ["tailor", "teacher", "white", "carl"]
+        assert [a.typo(w) for w in words] == [b.typo(w) for w in words]

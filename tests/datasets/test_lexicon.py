@@ -1,0 +1,51 @@
+"""Unit tests for the word pools."""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets import lexicon
+
+
+class TestStaticPools:
+    def test_pools_are_nonempty_and_lowercase(self):
+        for pool in (
+            lexicon.FIRST_NAMES,
+            lexicon.SURNAMES,
+            lexicon.CITIES,
+            lexicon.STREETS,
+            lexicon.CUISINES,
+            lexicon.TITLE_WORDS,
+            lexicon.MUSIC_WORDS,
+            lexicon.MOVIE_WORDS,
+        ):
+            assert len(pool) >= 20
+            assert all(word == word.lower() for word in pool)
+
+    def test_pools_have_no_duplicates(self):
+        for pool in (lexicon.FIRST_NAMES, lexicon.SURNAMES, lexicon.CITIES):
+            assert len(pool) == len(set(pool))
+
+    def test_dbpedia_property_drift(self):
+        """The 2007/2009 pools overlap only partially (attribute drift)."""
+        shared = set(lexicon.DBPEDIA_PROPERTIES_2007) & set(
+            lexicon.DBPEDIA_PROPERTIES_2009
+        )
+        assert 0 < len(shared) < len(lexicon.DBPEDIA_PROPERTIES_2007) / 2
+
+
+class TestSynthesizeWords:
+    def test_count_and_uniqueness(self):
+        words = lexicon.synthesize_words(500, random.Random(0))
+        assert len(words) == 500
+        assert len(set(words)) == 500
+
+    def test_deterministic(self):
+        a = lexicon.synthesize_words(50, random.Random(9))
+        b = lexicon.synthesize_words(50, random.Random(9))
+        assert a == b
+
+    def test_pronounceable_shape(self):
+        for word in lexicon.synthesize_words(100, random.Random(1)):
+            assert word.isalpha()
+            assert 3 <= len(word) <= 13

@@ -1,0 +1,50 @@
+"""Unit tests for the blocking-quality metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blocking.base import Block, BlockCollection
+from repro.blocking.token_blocking import TokenBlocking
+from repro.core.ground_truth import GroundTruth
+from repro.core.profiles import ProfileStore
+from repro.evaluation.metrics import evaluate_blocking
+
+
+class TestEvaluateBlocking:
+    def test_perfect_blocking(self):
+        store = ProfileStore.from_attribute_maps(
+            [{"a": "x"}, {"a": "x"}, {"a": "y"}, {"a": "y"}]
+        )
+        truth = GroundTruth([(0, 1), (2, 3)], closed=False)
+        quality = evaluate_blocking(TokenBlocking().build(store), truth)
+        assert quality.pairs_completeness == 1.0
+        assert quality.pairs_quality == 1.0
+        assert quality.reduction_ratio == pytest.approx(1 - 2 / 6)
+
+    def test_partial_coverage(self, paper_profiles, paper_ground_truth):
+        store = paper_profiles
+        # Only the 'carl' block: covers c12 but misses the other matches.
+        blocks = BlockCollection([Block("carl", [0, 1], store)], store)
+        quality = evaluate_blocking(blocks, paper_ground_truth)
+        assert quality.pairs_completeness == pytest.approx(1 / 4)
+        assert quality.pairs_quality == 1.0
+
+    def test_counts_are_reported(self, paper_profiles, paper_ground_truth):
+        blocks = TokenBlocking().build(paper_profiles)
+        quality = evaluate_blocking(blocks, paper_ground_truth)
+        assert quality.candidate_pairs == 15
+        assert quality.aggregate_cardinality == 1 + 3 + 6 + 1 + 1 + 15
+
+    def test_str_rendering(self, paper_profiles, paper_ground_truth):
+        quality = evaluate_blocking(
+            TokenBlocking().build(paper_profiles), paper_ground_truth
+        )
+        text = str(quality)
+        assert "PC=" in text and "PQ=" in text and "RR=" in text
+
+    def test_empty_truth(self, paper_profiles):
+        quality = evaluate_blocking(
+            TokenBlocking().build(paper_profiles), GroundTruth([])
+        )
+        assert quality.pairs_completeness == 0.0

@@ -1,0 +1,60 @@
+"""Unit tests for Levenshtein distance and edit similarity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.matching.edit_distance import edit_similarity, levenshtein
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ("", "", 0),
+            ("a", "", 1),
+            ("", "abc", 3),
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+            ("intention", "execution", 5),
+            ("same", "same", 0),
+            ("ab", "ba", 2),  # no transposition in plain Levenshtein
+        ],
+    )
+    def test_known_distances(self, a, b, expected):
+        assert levenshtein(a, b) == expected
+
+    def test_symmetry(self):
+        assert levenshtein("abcdef", "azced") == levenshtein("azced", "abcdef")
+
+    def test_prefix_suffix_stripping_preserves_result(self):
+        # Shared prefix 'pro' and suffix 'ing' are stripped internally.
+        assert levenshtein("programming", "processing") == 5
+
+    def test_max_distance_cutoff(self):
+        assert levenshtein("aaaa", "bbbb", max_distance=2) == 3
+        assert levenshtein("aaaa", "aaab", max_distance=2) == 1
+
+    def test_max_distance_length_gap_shortcut(self):
+        assert levenshtein("a", "abcdefgh", max_distance=3) == 4
+
+    def test_max_distance_exact_bound(self):
+        assert levenshtein("kitten", "sitting", max_distance=3) == 3
+
+
+class TestEditSimilarity:
+    def test_identical(self):
+        assert edit_similarity("abc", "abc") == 1.0
+
+    def test_disjoint(self):
+        assert edit_similarity("aaa", "bbb") == 0.0
+
+    def test_empty_pair(self):
+        assert edit_similarity("", "") == 1.0
+
+    def test_normalization(self):
+        # distance 1 over max length 4.
+        assert edit_similarity("abcd", "abed") == pytest.approx(0.75)
+
+    def test_bounds(self):
+        assert 0.0 <= edit_similarity("carl white", "karl white") <= 1.0

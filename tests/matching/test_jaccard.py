@@ -1,0 +1,37 @@
+"""Unit tests for Jaccard similarity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.matching.jaccard import jaccard, jaccard_strings
+
+
+class TestJaccard:
+    def test_identical_sets(self):
+        assert jaccard(["a", "b"], ["b", "a"]) == 1.0
+
+    def test_disjoint_sets(self):
+        assert jaccard(["a"], ["b"]) == 0.0
+
+    def test_partial_overlap(self):
+        assert jaccard(["a", "b", "c"], ["b", "c", "d"]) == pytest.approx(0.5)
+
+    def test_both_empty(self):
+        assert jaccard([], []) == 1.0
+
+    def test_one_empty(self):
+        assert jaccard(["a"], []) == 0.0
+
+    def test_duplicates_ignored(self):
+        assert jaccard(["a", "a", "b"], ["a", "b", "b"]) == 1.0
+
+
+class TestJaccardStrings:
+    def test_whitespace_tokenization(self):
+        assert jaccard_strings("carl white ny", "karl white ny") == pytest.approx(
+            2 / 4
+        )
+
+    def test_empty_strings(self):
+        assert jaccard_strings("", "") == 1.0

@@ -1,0 +1,82 @@
+"""Unit tests for the match function objects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ground_truth import GroundTruth
+from repro.core.profiles import EntityProfile
+from repro.matching.match_functions import (
+    EditDistanceMatcher,
+    JaccardMatcher,
+    OracleMatcher,
+)
+
+
+def profile(pid: int, text: str) -> EntityProfile:
+    return EntityProfile(pid, {"text": text})
+
+
+class TestEditDistanceMatcher:
+    def test_accepts_near_identical(self):
+        matcher = EditDistanceMatcher(threshold=0.8)
+        assert matcher(profile(0, "carl white ny"), profile(1, "karl white ny"))
+
+    def test_rejects_dissimilar(self):
+        matcher = EditDistanceMatcher(threshold=0.8)
+        assert not matcher(profile(0, "carl white"), profile(1, "boeing 747"))
+
+    def test_similarity_bounds(self):
+        matcher = EditDistanceMatcher()
+        sim = matcher.similarity(profile(0, "abc"), profile(1, "abd"))
+        assert 0.0 <= sim <= 1.0
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            EditDistanceMatcher(threshold=1.5)
+
+
+class TestJaccardMatcher:
+    def test_token_overlap_decision(self):
+        matcher = JaccardMatcher(threshold=0.5)
+        assert matcher(profile(0, "alpha beta gamma"), profile(1, "alpha beta delta"))
+        assert not matcher(profile(0, "alpha beta"), profile(1, "x y z"))
+
+    def test_tokenizer_is_schema_agnostic(self):
+        matcher = JaccardMatcher(threshold=0.99)
+        a = EntityProfile(0, {"name": "carl", "city": "ny"})
+        b = EntityProfile(1, {"fullName": "Carl", "location": "NY"})
+        assert matcher(a, b)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            JaccardMatcher(threshold=-0.1)
+
+
+class TestOracleMatcher:
+    def test_decisions_follow_ground_truth(self):
+        truth = GroundTruth([(0, 1)])
+        oracle = OracleMatcher(truth)
+        assert oracle(profile(0, "anything"), profile(1, "whatever"))
+        assert not oracle(profile(0, "same"), profile(2, "same"))
+
+    def test_cost_model_is_paid_but_ignored(self):
+        """The paper's timing protocol: run the similarity, use the truth."""
+
+        calls = []
+
+        class Spy(JaccardMatcher):
+            def similarity(self, a, b):
+                calls.append((a.profile_id, b.profile_id))
+                return super().similarity(a, b)
+
+        truth = GroundTruth([(0, 1)])
+        oracle = OracleMatcher(truth, cost_model=Spy())
+        assert oracle(profile(0, "x"), profile(1, "totally different"))
+        assert calls == [(0, 1)]
+
+    def test_similarity_is_binary(self):
+        truth = GroundTruth([(0, 1)])
+        oracle = OracleMatcher(truth)
+        assert oracle.similarity(profile(0, "a"), profile(1, "b")) == 1.0
+        assert oracle.similarity(profile(0, "a"), profile(2, "a")) == 0.0

@@ -1,0 +1,66 @@
+"""Unit tests for the Blocking Graph views."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blocking.scheduling import block_scheduling
+from repro.blocking.token_blocking import TokenBlocking
+from repro.metablocking.blocking_graph import (
+    build_blocking_graph,
+    edge_count,
+    iter_edges,
+)
+from repro.metablocking.profile_index import ProfileIndex
+from repro.metablocking.weights import make_scheme
+
+
+class TestIterEdges:
+    def test_each_pair_exactly_once(self, paper_profiles):
+        blocks = block_scheduling(TokenBlocking().build(paper_profiles))
+        index = ProfileIndex(blocks)
+        edges = list(iter_edges(index, make_scheme("ARCS", index)))
+        pairs = [e.pair for e in edges]
+        assert len(pairs) == len(set(pairs))
+        assert set(pairs) == blocks.distinct_pairs()
+
+    def test_weights_populated(self, paper_profiles):
+        blocks = block_scheduling(TokenBlocking().build(paper_profiles))
+        index = ProfileIndex(blocks)
+        weights = {
+            e.pair: e.weight for e in iter_edges(index, make_scheme("ARCS", index))
+        }
+        assert weights[(0, 1)] == pytest.approx(1.57, abs=0.005)
+
+
+class TestEdgeCount:
+    def test_matches_distinct_pairs(self, paper_profiles):
+        blocks = block_scheduling(TokenBlocking().build(paper_profiles))
+        index = ProfileIndex(blocks)
+        assert edge_count(index) == len(blocks.distinct_pairs())
+
+
+class TestNetworkxView:
+    def test_figure3c_graph(self, paper_profiles):
+        graph = build_blocking_graph(TokenBlocking().build(paper_profiles))
+        assert graph.number_of_nodes() == 6
+        # All 15 pairs co-occur in the 'white' block.
+        assert graph.number_of_edges() == 15
+        assert graph[0][1]["weight"] == pytest.approx(1.57, abs=0.005)
+        assert graph[3][4]["weight"] == pytest.approx(2.07, abs=0.005)
+
+    def test_weights_match_networkx_recomputation(self, paper_profiles):
+        """Cross-check ARCS against an independent recomputation."""
+        blocks = TokenBlocking().build(paper_profiles)
+        graph = build_blocking_graph(blocks, "ARCS")
+        cardinality = {
+            b.key: b.cardinality(paper_profiles.er_type) for b in blocks
+        }
+        members = {b.key: set(b.ids) for b in blocks}
+        for i, j, data in graph.edges(data=True):
+            expected = sum(
+                1 / cardinality[key]
+                for key, ids in members.items()
+                if i in ids and j in ids
+            )
+            assert data["weight"] == pytest.approx(expected)

@@ -1,0 +1,92 @@
+"""Unit tests for the Profile Index and the LeCoBI condition."""
+
+from __future__ import annotations
+
+from repro.blocking.base import Block, BlockCollection
+from repro.blocking.scheduling import block_scheduling
+from repro.core.profiles import ProfileStore
+from repro.metablocking.profile_index import ProfileIndex
+
+
+def indexed_blocks() -> ProfileIndex:
+    store = ProfileStore.from_attribute_maps([{"a": str(i)} for i in range(6)])
+    blocks = BlockCollection(
+        [
+            Block("w", [0, 1, 2, 3, 4, 5], store),  # big - scheduled last
+            Block("x", [0, 1], store),
+            Block("y", [0, 1, 2], store),
+            Block("z", [3, 4], store),
+        ],
+        store,
+    )
+    return ProfileIndex(block_scheduling(blocks))
+
+
+class TestProfileIndex:
+    def test_blocks_sorted_ascending(self):
+        index = indexed_blocks()
+        for pid in range(6):
+            ids = list(index.blocks_of(pid))
+            assert ids == sorted(ids)
+
+    def test_block_ids_follow_schedule(self):
+        index = indexed_blocks()
+        # Scheduled order: x(1 cmp), z(1 cmp), y(3), w(15) -> ids 0..3.
+        keys = [b.key for b in index.collection]
+        assert keys == ["x", "z", "y", "w"]
+        assert index.block_cardinalities == [1, 1, 3, 15]
+
+    def test_blocks_of_unknown_profile_is_empty(self):
+        assert indexed_blocks().blocks_of(99) == ()
+
+    def test_common_blocks_merge(self):
+        index = indexed_blocks()
+        assert index.common_blocks(0, 1) == [0, 2, 3]  # x, y, w
+        assert index.common_blocks(0, 3) == [3]  # w only
+        assert index.common_blocks(3, 4) == [1, 3]  # z, w
+
+    def test_least_common_block(self):
+        index = indexed_blocks()
+        assert index.least_common_block(0, 1) == 0
+        assert index.least_common_block(0, 3) == 3
+        assert index.least_common_block(3, 4) == 1
+
+    def test_lecobi_first_encounter(self):
+        index = indexed_blocks()
+        assert index.is_first_encounter(0, 1, 0)
+        assert not index.is_first_encounter(0, 1, 2)
+        assert not index.is_first_encounter(0, 1, 3)
+
+    def test_indexed_profiles(self):
+        assert indexed_blocks().indexed_profiles() == [0, 1, 2, 3, 4, 5]
+
+    def test_block_count(self):
+        assert indexed_blocks().block_count() == 4
+
+
+class TestLeCoBIBruteForce:
+    def test_against_brute_force_on_random_blocks(self):
+        """LeCoBI agrees with a brute-force 'first block containing both'."""
+        import random
+
+        rng = random.Random(7)
+        store = ProfileStore.from_attribute_maps(
+            [{"a": str(i)} for i in range(12)]
+        )
+        blocks = BlockCollection(
+            [
+                Block(f"b{k}", rng.sample(range(12), rng.randint(2, 6)), store)
+                for k in range(15)
+            ],
+            store,
+        )
+        index = ProfileIndex(block_scheduling(blocks))
+        ordered = index.collection.blocks
+        for i in range(12):
+            for j in range(i + 1, 12):
+                expected = None
+                for block in ordered:
+                    if i in block and j in block:
+                        expected = block.block_id
+                        break
+                assert index.least_common_block(i, j) == expected

@@ -1,0 +1,79 @@
+"""Unit tests for the batch Meta-blocking pruning algorithms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blocking.token_blocking import TokenBlocking
+from repro.metablocking.pruning import (
+    cardinality_edge_pruning,
+    cardinality_node_pruning,
+    weighted_edge_pruning,
+    weighted_node_pruning,
+)
+
+
+@pytest.fixture()
+def paper_blocks(paper_profiles):
+    return TokenBlocking().build(paper_profiles)
+
+
+class TestWeightedEdgePruning:
+    def test_keeps_above_mean_edges(self, paper_blocks):
+        kept = weighted_edge_pruning(paper_blocks)
+        pairs = {c.pair for c in kept}
+        # The strong duplicate edges clear the global mean (~0.42).
+        assert (0, 1) in pairs and (3, 4) in pairs
+        # 'white'-only edges (0.07) fall below it.
+        assert (0, 3) not in pairs
+
+    def test_sorted_descending(self, paper_blocks):
+        kept = weighted_edge_pruning(paper_blocks)
+        weights = [c.weight for c in kept]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_empty_blocks(self, paper_profiles):
+        from repro.blocking.base import BlockCollection
+
+        assert weighted_edge_pruning(BlockCollection([], paper_profiles)) == []
+
+
+class TestCardinalityEdgePruning:
+    def test_explicit_budget(self, paper_blocks):
+        kept = cardinality_edge_pruning(paper_blocks, k=2)
+        assert [c.pair for c in kept] == [(3, 4), (0, 1)]
+
+    def test_default_budget_is_half_assignments(self, paper_blocks):
+        assignments = sum(b.size for b in paper_blocks)
+        kept = cardinality_edge_pruning(paper_blocks)
+        assert len(kept) == min(assignments // 2, 15)
+
+
+class TestWeightedNodePruning:
+    def test_duplicates_survive(self, paper_blocks):
+        pairs = {c.pair for c in weighted_node_pruning(paper_blocks)}
+        assert {(0, 1), (3, 4), (0, 2), (1, 2)} <= pairs
+
+    def test_keeps_edge_if_either_endpoint_accepts(self, paper_blocks):
+        """p6's best edges survive via p6's own (low) local mean."""
+        pairs = {c.pair for c in weighted_node_pruning(paper_blocks)}
+        assert (0, 5) in pairs or (1, 5) in pairs or (2, 5) in pairs
+
+
+class TestCardinalityNodePruning:
+    def test_top_one_per_node(self, paper_blocks):
+        kept = cardinality_node_pruning(paper_blocks, k=1)
+        pairs = {c.pair for c in kept}
+        # Each node's single best edge: c12, c45, c23-or-c13, one of p6's.
+        assert (0, 1) in pairs and (3, 4) in pairs
+        assert len(pairs) <= 6
+
+    def test_no_duplicates_in_output(self, paper_blocks):
+        kept = cardinality_node_pruning(paper_blocks, k=2)
+        pairs = [c.pair for c in kept]
+        assert len(pairs) == len(set(pairs))
+
+    def test_recall_grows_with_k(self, paper_blocks):
+        small = {c.pair for c in cardinality_node_pruning(paper_blocks, k=1)}
+        large = {c.pair for c in cardinality_node_pruning(paper_blocks, k=4)}
+        assert small <= large

@@ -1,0 +1,81 @@
+"""Unit tests for the Position Index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.neighborlist.neighbor_list import NeighborList
+from repro.neighborlist.position_index import PositionIndex
+
+
+@pytest.fixture()
+def index() -> PositionIndex:
+    # NL: [0, 1, 0, 2, 1, 0]
+    nl = NeighborList([0, 1, 0, 2, 1, 0], ["a", "a", "b", "b", "c", "c"])
+    return PositionIndex(nl)
+
+
+class TestPositionIndex:
+    def test_positions_of(self, index):
+        assert list(index.positions_of(0)) == [0, 2, 5]
+        assert list(index.positions_of(1)) == [1, 4]
+        assert list(index.positions_of(2)) == [3]
+
+    def test_missing_profile(self, index):
+        assert index.positions_of(9) == ()
+        assert index.appearance_count(9) == 0
+
+    def test_appearance_count(self, index):
+        assert index.appearance_count(0) == 3
+        assert index.appearance_count(2) == 1
+
+    def test_indexed_profiles(self, index):
+        assert index.indexed_profiles() == [0, 1, 2]
+
+    def test_len(self, index):
+        assert len(index) == 3
+
+
+class TestCooccurrenceFrequency:
+    def test_exact_distance(self, index):
+        # Positions of 0: {0,2,5}; of 1: {1,4}. Distance-1 pairs: (0,1),(1,2),(4,5).
+        assert index.cooccurrence_frequency(0, 1, 1) == 3
+        # Distance 2: (2,4) only -> 1.
+        assert index.cooccurrence_frequency(0, 1, 2) == 1
+
+    def test_cumulative(self, index):
+        assert index.cooccurrence_frequency(0, 1, 2, cumulative=True) == 4
+
+    def test_symmetry(self, index):
+        for w in (1, 2, 3):
+            assert index.cooccurrence_frequency(0, 1, w) == (
+                index.cooccurrence_frequency(1, 0, w)
+            )
+
+    def test_zero_for_unindexed(self, index):
+        assert index.cooccurrence_frequency(0, 9, 1) == 0
+
+    def test_invalid_window(self, index):
+        with pytest.raises(ValueError):
+            index.cooccurrence_frequency(0, 1, 0)
+
+    def test_brute_force_agreement(self):
+        """Reference check on a random Neighbor List."""
+        import random
+
+        rng = random.Random(3)
+        entries = [rng.randrange(5) for _ in range(40)]
+        nl = NeighborList(entries, ["k"] * 40)
+        index = PositionIndex(nl)
+        for i in range(5):
+            for j in range(5):
+                if i == j:
+                    continue
+                for w in (1, 2, 5):
+                    brute = sum(
+                        1
+                        for a, pa in enumerate(entries)
+                        for b, pb in enumerate(entries)
+                        if pa == i and pb == j and abs(a - b) == w
+                    )
+                    assert index.cooccurrence_frequency(i, j, w) == brute

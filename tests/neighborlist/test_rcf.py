@@ -1,0 +1,59 @@
+"""Unit tests for the RCF / CF neighbor weighting schemes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.neighborlist.neighbor_list import NeighborList
+from repro.neighborlist.position_index import PositionIndex
+from repro.neighborlist.rcf import (
+    CFWeighting,
+    RCFWeighting,
+    make_neighbor_weighting,
+)
+
+
+@pytest.fixture()
+def index() -> PositionIndex:
+    nl = NeighborList([0, 1, 0, 2, 1, 0], ["a"] * 6)
+    return PositionIndex(nl)
+
+
+class TestRCF:
+    def test_formula(self, index):
+        # freq=3, |PI[0]|=3, |PI[1]|=2 -> 3 / (3 + 2 - 3) = 1.5
+        assert RCFWeighting().weight(3, 0, 1, index) == pytest.approx(1.5)
+
+    def test_paper_formula_shape(self, index):
+        """RCF = freq / (|PI[i]| + |PI[j]| - freq) (Section 5.1.1)."""
+        rcf = RCFWeighting()
+        freq = 1
+        expected = freq / (3 + 1 - freq)
+        assert rcf.weight(freq, 0, 2, index) == pytest.approx(expected)
+
+    def test_zero_frequency(self, index):
+        assert RCFWeighting().weight(0, 0, 1, index) == 0.0
+
+    def test_degenerate_full_overlap(self, index):
+        """freq == total appearances: weight falls back to the raw count."""
+        assert RCFWeighting().weight(5, 0, 1, index) == 5.0
+
+    def test_monotone_in_frequency(self, index):
+        rcf = RCFWeighting()
+        weights = [rcf.weight(f, 0, 1, index) for f in (1, 2, 3)]
+        assert weights == sorted(weights)
+
+
+class TestCF:
+    def test_raw_count(self, index):
+        assert CFWeighting().weight(7, 0, 1, index) == 7.0
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert make_neighbor_weighting("rcf").name == "RCF"
+        assert make_neighbor_weighting("CF").name == "CF"
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown neighbor weighting"):
+            make_neighbor_weighting("bogus")

@@ -1,0 +1,68 @@
+"""Unit tests for GS-PSN."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.profiles import ProfileStore
+from repro.progressive.gs_psn import GSPSN
+
+
+class TestGSPSN:
+    def test_no_repeated_comparisons(self, paper_profiles):
+        """The global order eliminates repeats within [1, w_max]."""
+        pairs = [c.pair for c in GSPSN(paper_profiles, max_window=5)]
+        assert len(pairs) == len(set(pairs))
+
+    def test_covers_all_pairs_within_window_range(self, paper_profiles):
+        """Every pair co-occurring at distance <= w_max is emitted."""
+        method = GSPSN(paper_profiles, max_window=4, tie_order="insertion")
+        emitted = {c.pair for c in method}
+        index = method.position_index
+        expected = set()
+        for i in range(6):
+            for j in range(i + 1, 6):
+                if index.cooccurrence_frequency(i, j, 4, cumulative=True):
+                    expected.add((i, j))
+        assert emitted == expected
+
+    def test_weights_use_cumulative_frequency(self, paper_profiles):
+        method = GSPSN(paper_profiles, max_window=3, tie_order="insertion")
+        method.initialize()
+        index = method.position_index
+        for comparison in method._comparisons:
+            freq = index.cooccurrence_frequency(
+                comparison.i, comparison.j, 3, cumulative=True
+            )
+            expected = method.weighting.weight(
+                freq, comparison.i, comparison.j, index
+            )
+            assert comparison.weight == pytest.approx(expected)
+
+    def test_emission_is_globally_sorted(self, paper_profiles):
+        weights = [c.weight for c in GSPSN(paper_profiles, max_window=5)]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_terminates_after_draining(self, paper_profiles):
+        method = GSPSN(paper_profiles, max_window=2)
+        list(method)
+        assert method.next_comparison() is None
+
+    def test_matches_lead_on_the_paper_example(self, paper_profiles):
+        method = GSPSN(paper_profiles, max_window=5, tie_order="insertion")
+        first_three = [c.pair for c in list(method)[:3]]
+        matches = {(0, 1), (0, 2), (1, 2), (3, 4)}
+        assert set(first_three) <= matches
+
+    def test_invalid_window(self, paper_profiles):
+        with pytest.raises(ValueError):
+            GSPSN(paper_profiles, max_window=0)
+
+    def test_window_larger_than_list_is_clamped(self):
+        store = ProfileStore.from_attribute_maps([{"a": "x"}, {"a": "y"}])
+        pairs = {c.pair for c in GSPSN(store, max_window=10_000)}
+        assert pairs == {(0, 1)}
+
+    def test_clean_clean_validity(self, tiny_clean_clean):
+        for comparison in GSPSN(tiny_clean_clean, max_window=10):
+            assert tiny_clean_clean.valid_comparison(*comparison.pair)

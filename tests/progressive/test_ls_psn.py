@@ -1,0 +1,73 @@
+"""Unit tests for LS-PSN."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.profiles import ProfileStore
+from repro.neighborlist.position_index import PositionIndex
+from repro.progressive.ls_psn import LSPSN
+
+
+class TestLSPSN:
+    def test_window_weights_match_reference_counts(self, paper_profiles):
+        """Per-window RCF weights agree with the Position Index's
+        reference co-occurrence counter."""
+        method = LSPSN(paper_profiles, tie_order="insertion")
+        method.initialize()
+        index: PositionIndex = method.position_index
+        for comparison in method.window_comparisons(1):
+            freq = index.cooccurrence_frequency(comparison.i, comparison.j, 1)
+            expected = method.weighting.weight(
+                freq, comparison.i, comparison.j, index
+            )
+            assert comparison.weight == pytest.approx(expected)
+
+    def test_no_repeats_within_one_window(self, paper_profiles):
+        method = LSPSN(paper_profiles, tie_order="insertion")
+        method.initialize()
+        pairs = [c.pair for c in method.window_comparisons(1)]
+        assert len(pairs) == len(set(pairs))
+
+    def test_window_emissions_sorted_descending(self, paper_profiles):
+        method = LSPSN(paper_profiles, tie_order="insertion")
+        method.initialize()
+        weights = [c.weight for c in method.window_comparisons(1).drain()]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_repeats_across_windows_allowed(self):
+        """Section 5.1.2: LS-PSN may re-emit a pair at several windows."""
+        store = ProfileStore.from_attribute_maps(
+            [{"a": "k1 k2"}, {"a": "k1 k2"}]
+        )
+        pairs = [c.pair for c in LSPSN(store, tie_order="insertion", max_window=3)]
+        assert pairs.count((0, 1)) > 1
+
+    def test_max_window_bounds_emission(self, paper_profiles):
+        bounded = list(LSPSN(paper_profiles, max_window=1))
+        unbounded = list(LSPSN(paper_profiles, max_window=5))
+        assert len(bounded) < len(unbounded)
+
+    def test_clean_clean_scans_source_zero_only(self, tiny_clean_clean):
+        method = LSPSN(tiny_clean_clean)
+        method.initialize()
+        for pid in method._scan_ids:
+            assert tiny_clean_clean.source_of(pid) == 0
+        for comparison in method:
+            assert tiny_clean_clean.valid_comparison(*comparison.pair)
+
+    def test_dirty_counts_each_pair_once_per_window(self):
+        """The j < i rule: no double-counting from both endpoints."""
+        store = ProfileStore.from_attribute_maps(
+            [{"a": "x"}, {"a": "x"}, {"a": "x"}]
+        )
+        method = LSPSN(store, tie_order="insertion")
+        method.initialize()
+        pairs = [c.pair for c in method.window_comparisons(1)]
+        assert sorted(pairs) == [(0, 1), (1, 2)]
+
+    def test_custom_weighting_scheme(self, paper_profiles):
+        method = LSPSN(paper_profiles, weighting="CF", tie_order="insertion")
+        method.initialize()
+        for comparison in method.window_comparisons(1):
+            assert comparison.weight == int(comparison.weight)  # raw counts

@@ -1,0 +1,103 @@
+"""Unit tests for Progressive Profile Scheduling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blocking.token_blocking import TokenBlocking
+from repro.core.profiles import ProfileStore
+from repro.progressive.pps import PPS
+
+
+@pytest.fixture()
+def method(paper_profiles):
+    blocks = TokenBlocking().build(paper_profiles)
+    return PPS(paper_profiles, blocks=blocks)
+
+
+class TestInitialization:
+    def test_initial_list_holds_top_comparison_per_profile(self, method):
+        method.initialize()
+        pairs = {c.pair for c in method._initial_comparisons}
+        # Deduplicated: p1/p2 share c12, p4/p5 share c45.
+        assert (0, 1) in pairs and (3, 4) in pairs
+        assert len(pairs) == 4
+
+    def test_sorted_profile_list_descending(self, method):
+        method.initialize()
+        likelihoods = [value for _, value in method.sorted_profile_list]
+        assert likelihoods == sorted(likelihoods, reverse=True)
+
+    def test_adaptive_k_max_floor(self, method):
+        method.initialize()
+        assert method.k_max >= 10
+
+    def test_explicit_k_max_respected(self, paper_profiles):
+        blocks = TokenBlocking().build(paper_profiles)
+        method = PPS(paper_profiles, blocks=blocks, k_max=2)
+        method.initialize()
+        assert method.k_max == 2
+
+    def test_invalid_k_max(self, paper_profiles):
+        with pytest.raises(ValueError):
+            PPS(paper_profiles, k_max=0)
+
+
+class TestEmission:
+    def test_k_max_bounds_per_profile_batch(self, paper_profiles):
+        blocks = TokenBlocking().build(paper_profiles)
+        method = PPS(paper_profiles, blocks=blocks, k_max=2)
+        method.initialize()
+        batch = method.profile_comparisons(0, checked={0})
+        assert len(batch) <= 2
+
+    def test_batches_sorted_descending(self, method):
+        method.initialize()
+        batch = method.profile_comparisons(0, checked={0})
+        weights = [c.weight for c in batch]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_checked_entities_filtered_from_batches(self, method):
+        method.initialize()
+        batch = method.profile_comparisons(2, checked={0, 1, 2})
+        partners = {c.i for c in batch} | {c.j for c in batch}
+        assert not ({0, 1} & (partners - {2}))
+
+    def test_duplicates_found_early(self, method):
+        emissions = [c.pair for c in method]
+        matches = {(0, 1), (0, 2), (1, 2), (3, 4)}
+        assert matches <= set(emissions)
+        assert set(emissions[:2]) <= matches
+
+    def test_clean_clean_validity(self, tiny_clean_clean):
+        for comparison in PPS(tiny_clean_clean, purge_ratio=None):
+            assert tiny_clean_clean.valid_comparison(*comparison.pair)
+
+
+class TestExhaustiveMode:
+    def test_same_eventual_quality_as_batch(self, paper_profiles):
+        blocks = TokenBlocking().build(paper_profiles)
+        method = PPS(paper_profiles, blocks=blocks, k_max=1, exhaustive=True)
+        emitted = {c.pair for c in method}
+        assert emitted == blocks.distinct_pairs()
+
+    def test_exhaustive_tail_has_no_duplicates(self, paper_profiles):
+        blocks = TokenBlocking().build(paper_profiles)
+        method = PPS(paper_profiles, blocks=blocks, k_max=1, exhaustive=True)
+        pairs = [c.pair for c in method]
+        # The tail must not re-emit pairs; only the scheduled phase may
+        # repeat the init-phase top comparisons.
+        from collections import Counter
+
+        counts = Counter(pairs)
+        assert max(counts.values()) <= 2
+
+    def test_non_exhaustive_may_miss_weak_pairs(self, paper_profiles):
+        blocks = TokenBlocking().build(paper_profiles)
+        bounded = {c.pair for c in PPS(paper_profiles, blocks=blocks, k_max=1)}
+        assert len(bounded) <= len(blocks.distinct_pairs())
+
+
+class TestEmptyInputs:
+    def test_empty_store(self):
+        assert list(PPS(ProfileStore([]))) == []

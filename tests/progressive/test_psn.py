@@ -1,0 +1,66 @@
+"""Unit tests for schema-based PSN."""
+
+from __future__ import annotations
+
+from repro.blocking.standard_blocking import KeyFunction
+from repro.core.profiles import ProfileStore
+from repro.progressive.psn import PSN
+
+
+def store() -> ProfileStore:
+    return ProfileStore.from_attribute_maps(
+        [
+            {"name": "anna"},
+            {"name": "annb"},
+            {"name": "annz"},
+            {"name": "zeta"},
+        ]
+    )
+
+
+KEY = KeyFunction.attribute("name")
+
+
+class TestPSN:
+    def test_window_one_first(self):
+        """Consecutive profiles in key order are compared first (Fig. 4a)."""
+        method = PSN(store(), KEY)
+        pairs = [c.pair for c in method]
+        assert pairs[:3] == [(0, 1), (1, 2), (2, 3)]  # w=1
+        assert pairs[3:5] == [(0, 2), (1, 3)]  # w=2
+        assert pairs[5] == (0, 3)  # w=3
+
+    def test_no_repeated_comparisons(self):
+        pairs = [c.pair for c in PSN(store(), KEY)]
+        assert len(pairs) == len(set(pairs))
+
+    def test_eventually_emits_all_pairs(self):
+        pairs = {c.pair for c in PSN(store(), KEY)}
+        assert len(pairs) == 6  # C(4,2)
+
+    def test_weight_decreases_with_window(self):
+        comparisons = list(PSN(store(), KEY))
+        assert comparisons[0].weight > comparisons[-1].weight
+
+    def test_max_window_truncates(self):
+        pairs = [c.pair for c in PSN(store(), KEY, max_window=1)]
+        assert pairs == [(0, 1), (1, 2), (2, 3)]
+
+    def test_profiles_with_empty_keys_excluded(self):
+        mixed = ProfileStore.from_attribute_maps(
+            [{"name": "a"}, {"other": "x"}, {"name": "b"}]
+        )
+        pairs = {c.pair for c in PSN(mixed, KEY)}
+        assert pairs == {(0, 2)}
+
+    def test_clean_clean_skips_same_source(self, tiny_clean_clean):
+        key = KeyFunction(lambda p: p.value("title") or p.value("name"))
+        pairs = {c.pair for c in PSN(tiny_clean_clean, key)}
+        for i, j in pairs:
+            assert tiny_clean_clean.valid_comparison(i, j)
+
+    def test_random_tie_order_is_deterministic_per_seed(self):
+        tied = ProfileStore.from_attribute_maps([{"name": "x"}] * 5)
+        a = [c.pair for c in PSN(tied, KEY, seed=3)]
+        b = [c.pair for c in PSN(tied, KEY, seed=3)]
+        assert a == b

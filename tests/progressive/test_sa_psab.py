@@ -1,0 +1,51 @@
+"""Unit tests for SA-PSAB."""
+
+from __future__ import annotations
+
+from repro.core.profiles import ProfileStore
+from repro.progressive.sa_psab import SAPSAB
+
+
+def coin_store() -> ProfileStore:
+    return ProfileStore.from_attribute_maps(
+        [{"w": "coin"}, {"w": "join"}, {"w": "gain"}, {"w": "pain"}]
+    )
+
+
+class TestSAPSAB:
+    def test_leaves_first_emission(self):
+        """Longest-suffix blocks come first: 'ain'/'oin' before 'in'."""
+        method = SAPSAB(coin_store(), min_length=2)
+        pairs = [c.pair for c in method]
+        # First two emissions come from the depth-3 blocks (1 pair each).
+        assert set(pairs[:2]) == {(2, 3), (0, 1)}
+        # The root block 'in' then re-emits everything (naive repeats).
+        assert len(pairs) == 2 + 6
+
+    def test_weight_is_suffix_depth(self):
+        comparisons = list(SAPSAB(coin_store(), min_length=2))
+        assert comparisons[0].weight == 3.0
+        assert comparisons[-1].weight == 2.0
+
+    def test_smaller_blocks_first_within_layer(self):
+        store = ProfileStore.from_attribute_maps(
+            [{"w": "oak"}, {"w": "oak"}, {"w": "elm"}, {"w": "elm"}, {"w": "elm"}]
+        )
+        method = SAPSAB(store, min_length=3)
+        pairs = [c.pair for c in method]
+        # 'oak' block (1 comparison) precedes 'elm' block (3 comparisons).
+        assert pairs[0] == (0, 1)
+
+    def test_clean_clean_validity(self, tiny_clean_clean):
+        for comparison in SAPSAB(tiny_clean_clean, min_length=3):
+            assert tiny_clean_clean.valid_comparison(*comparison.pair)
+
+    def test_min_length_parameter_controls_forest(self):
+        shallow = list(SAPSAB(coin_store(), min_length=4))
+        # Only the full 4-char tokens qualify; no shared suffixes remain.
+        assert shallow == []
+
+    def test_max_block_size_cap(self):
+        capped = SAPSAB(coin_store(), min_length=2, max_block_size=2)
+        pairs = [c.pair for c in capped]
+        assert (0, 2) not in pairs  # the 'in' root block was dropped

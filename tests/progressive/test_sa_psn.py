@@ -1,0 +1,50 @@
+"""Unit tests for naive SA-PSN."""
+
+from __future__ import annotations
+
+from repro.core.profiles import ProfileStore
+from repro.progressive.sa_psn import SAPSN
+
+
+class TestSAPSN:
+    def test_same_profile_window_hits_are_skipped(self):
+        """A profile with two consecutive tokens is not compared to itself."""
+        store = ProfileStore.from_attribute_maps(
+            [{"a": "alpha beta"}, {"a": "gamma"}]
+        )
+        pairs = [c.pair for c in SAPSN(store, max_window=1, tie_order="insertion")]
+        assert (0, 0) not in pairs
+        assert all(i != j for i, j in pairs)
+
+    def test_clean_clean_skips_same_source(self, tiny_clean_clean):
+        method = SAPSN(tiny_clean_clean, max_window=3)
+        for comparison in method:
+            assert tiny_clean_clean.valid_comparison(*comparison.pair)
+
+    def test_eventual_coverage_of_cooccurring_pairs(self):
+        """With an unbounded window, every valid pair of indexed profiles
+        is eventually emitted (Same Eventual Quality over the NL space)."""
+        store = ProfileStore.from_attribute_maps(
+            [{"a": "x"}, {"a": "y"}, {"a": "z"}]
+        )
+        pairs = {c.pair for c in SAPSN(store)}
+        assert pairs == {(0, 1), (0, 2), (1, 2)}
+
+    def test_window_weight_annotation(self):
+        store = ProfileStore.from_attribute_maps([{"a": "x"}, {"a": "y"}])
+        comparisons = list(SAPSN(store))
+        assert comparisons[0].weight == 1.0  # emitted at window 1
+
+    def test_deterministic_given_seed(self, paper_profiles):
+        a = [c.pair for c in SAPSN(paper_profiles, seed=4, max_window=2)]
+        b = [c.pair for c in SAPSN(paper_profiles, seed=4, max_window=2)]
+        assert a == b
+
+    def test_emission_count_matches_window_arithmetic(self):
+        """Window w over a list of n positions yields n-w slots (minus the
+        invalid ones); with all-distinct profiles nothing is skipped."""
+        store = ProfileStore.from_attribute_maps(
+            [{"a": "t0"}, {"a": "t1"}, {"a": "t2"}, {"a": "t3"}]
+        )
+        emissions = list(SAPSN(store, max_window=2))
+        assert len(emissions) == 3 + 2  # w=1: 3 slots, w=2: 2 slots

@@ -1,0 +1,211 @@
+"""The paper's worked examples (Figures 3-8) as exact assertions.
+
+These tests pin the implementation to the numbers and orderings printed in
+the paper, so any regression in blocking, weighting or emission logic that
+would diverge from the published semantics fails loudly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blocking.scheduling import block_scheduling
+from repro.blocking.token_blocking import TokenBlocking
+from repro.metablocking.profile_index import ProfileIndex
+from repro.metablocking.weights import make_scheme
+from repro.neighborlist.neighbor_list import NeighborList
+from repro.progressive.ls_psn import LSPSN
+from repro.progressive.pbs import PBS
+from repro.progressive.pps import PPS
+from repro.progressive.sa_psn import SAPSN
+
+MATCH_PAIRS = {(0, 1), (0, 2), (1, 2), (3, 4)}
+
+
+@pytest.fixture()
+def paper_blocks(paper_profiles):
+    """Figure 3b: the Token Blocking block collection."""
+    return TokenBlocking().build(paper_profiles)
+
+
+class TestFigure3Blocks:
+    """Figure 3b - Token Blocking on the example profiles."""
+
+    def test_block_keys(self, paper_blocks):
+        keys = {block.key for block in paper_blocks}
+        assert keys == {"carl", "ny", "tailor", "ml", "teacher", "white"}
+
+    def test_block_membership(self, paper_blocks):
+        members = {block.key: set(block.ids) for block in paper_blocks}
+        assert members["carl"] == {0, 1}
+        assert members["ny"] == {0, 1, 2}
+        assert members["tailor"] == {0, 1, 2, 5}
+        assert members["ml"] == {3, 4}
+        assert members["teacher"] == {3, 4}
+        assert members["white"] == {0, 1, 2, 3, 4, 5}
+
+    def test_tailor_block_sizes(self, paper_blocks):
+        """Section 3: |b_tailor| = 4 and ||b_tailor|| = 6."""
+        tailor = next(b for b in paper_blocks if b.key == "tailor")
+        assert tailor.size == 4
+        assert tailor.cardinality(paper_blocks.store.er_type) == 6
+
+
+class TestFigure3cBlockingGraph:
+    """Figure 3c - the ARCS edge weights, to two decimals."""
+
+    @pytest.fixture()
+    def arcs(self, paper_blocks):
+        scheduled = block_scheduling(paper_blocks)
+        index = ProfileIndex(scheduled)
+        return make_scheme("ARCS", index)
+
+    @pytest.mark.parametrize(
+        "i,j,expected",
+        [
+            (0, 1, 1.57),  # c12: 1/1 + 1/3 + 1/6 + 1/15
+            (3, 4, 2.07),  # c45: 1 + 1 + 1/15
+            (0, 2, 0.57),  # c13: 1/3 + 1/6 + 1/15
+            (1, 2, 0.57),  # c23
+            (0, 5, 0.23),  # c16: 1/6 + 1/15
+            (1, 5, 0.23),  # c26
+            (2, 5, 0.23),  # c36
+            (0, 3, 0.07),  # c14: white only
+            (2, 4, 0.07),  # c35
+            (4, 5, 0.07),  # c56
+        ],
+    )
+    def test_arcs_weight(self, arcs, i, j, expected):
+        assert arcs.weight(i, j) == pytest.approx(expected, abs=0.005)
+
+
+class TestFigure3dNeighborList:
+    """Figure 3d - the sorted schema-agnostic blocking keys."""
+
+    def test_sorted_keys(self, paper_profiles):
+        nl = NeighborList.schema_agnostic(paper_profiles, tie_order="insertion")
+        distinct_keys = sorted(set(nl.keys))
+        assert distinct_keys == [
+            "carl", "ellen", "emma", "hellen", "karl", "ml",
+            "ny", "tailor", "teacher", "white", "wi",
+        ]
+
+    def test_positions_per_profile(self, paper_profiles):
+        """Every profile appears once per distinct token (4 each here)."""
+        nl = NeighborList.schema_agnostic(paper_profiles, tie_order="insertion")
+        assert len(nl) == 24  # 6 profiles x 4 distinct tokens
+        for profile_id in range(6):
+            assert nl.entries.count(profile_id) == 4
+
+
+class TestExample3SAPSN:
+    """Example 3 / Figure 4b - SA-PSN finds all matches within w = 1."""
+
+    def test_all_matches_at_window_one(self, paper_profiles):
+        method = SAPSN(paper_profiles, tie_order="insertion", max_window=1)
+        emitted = {c.pair for c in method}
+        assert MATCH_PAIRS <= emitted
+
+    def test_repeated_comparisons_exist(self, paper_profiles):
+        """Section 4.1: SA-PSN may emit the same pair repeatedly."""
+        method = SAPSN(paper_profiles, tie_order="insertion", max_window=1)
+        pairs = [c.pair for c in method]
+        assert len(pairs) > len(set(pairs))
+
+
+class TestExample4LSPSN:
+    """Example 4 / Figure 6 - LS-PSN's first emissions are all duplicates."""
+
+    def test_first_three_are_matches(self, paper_profiles):
+        method = LSPSN(paper_profiles, tie_order="insertion")
+        method.initialize()
+        first_three = [method.next_comparison().pair for _ in range(3)]
+        assert set(first_three) <= MATCH_PAIRS
+        # c12 and c45 - the two strongest co-occurrence patterns - lead.
+        assert (0, 1) in first_three
+        assert (3, 4) in first_three
+
+
+class TestExample5PBS:
+    """Example 5 / Figure 7 - PBS emission order on the Figure 3 blocks."""
+
+    @pytest.fixture()
+    def method(self, paper_profiles, paper_blocks):
+        # Feed the raw Figure 3b blocks (no purging/filtering) as the paper
+        # does in its example.
+        return PBS(paper_profiles, blocks=paper_blocks)
+
+    def test_first_two_emissions(self, method):
+        """c12 from block 'carl' first, then c45 from block 'ml'."""
+        emissions = [c.pair for c in method]
+        assert emissions[0] == (0, 1)
+        assert emissions[1] == (3, 4)
+
+    def test_c45_weight(self, method):
+        """The paper assigns edge weight ~2.07 to c45 at its first block."""
+        comparisons = list(method)
+        c45 = next(c for c in comparisons if c.pair == (3, 4))
+        assert c45.weight == pytest.approx(2.07, abs=0.005)
+
+    def test_lecobi_discards_repeats(self, method):
+        """c45 appears once: its 'teacher' recurrence fails LeCoBI."""
+        pairs = [c.pair for c in method]
+        assert pairs.count((3, 4)) == 1
+        assert pairs.count((0, 1)) == 1
+
+    def test_emits_every_distinct_pair_once(self, method, paper_blocks):
+        pairs = [c.pair for c in method]
+        assert len(pairs) == len(set(pairs))
+        assert set(pairs) == paper_blocks.distinct_pairs()
+
+
+class TestExample6PPS:
+    """Example 6 / Figure 8 - PPS initialization and emission."""
+
+    @pytest.fixture()
+    def method(self, paper_profiles, paper_blocks):
+        return PPS(paper_profiles, blocks=paper_blocks)
+
+    def test_initial_comparison_list(self, method):
+        """Figure 8a: c45 (2.07) first, c12 (1.57) second, then weights
+        0.57 and 0.23."""
+        method.initialize()
+        initial = list(method._initial_comparisons)
+        assert initial[0].pair == (3, 4)
+        assert initial[0].weight == pytest.approx(2.07, abs=0.005)
+        assert initial[1].pair == (0, 1)
+        assert initial[1].weight == pytest.approx(1.57, abs=0.005)
+        weights = [round(c.weight, 2) for c in initial[2:]]
+        assert weights == [0.57, 0.23]
+
+    def test_sorted_profile_list_order(self, method):
+        """Figure 8b: p1, p2 lead (avg weight .50), then p4, p5 (.47),
+        then p3 (.30) and p6 last."""
+        method.initialize()
+        order = [pid for pid, _ in method.sorted_profile_list]
+        likelihood = dict(method.sorted_profile_list)
+        assert set(order[:2]) == {0, 1}
+        assert set(order[2:4]) == {3, 4}
+        assert order[4] == 2
+        assert order[5] == 5
+        assert likelihood[0] == pytest.approx(0.50, abs=0.005)
+        assert likelihood[3] == pytest.approx(0.47, abs=0.005)
+        assert likelihood[2] == pytest.approx(0.30, abs=0.005)
+
+    def test_first_emissions_are_the_duplicates(self, method):
+        emissions = [c.pair for c in method]
+        assert emissions[0] == (3, 4)
+        assert emissions[1] == (0, 1)
+        # All of the paper's duplicate pairs are eventually emitted.
+        assert MATCH_PAIRS <= set(emissions)
+
+    def test_checked_entities_suppress_weak_repeats(self, method):
+        """Figure 8d: once p1 is processed, c12 is not re-inserted when p2's
+        neighborhood is expanded (checkedEntities contains p1).
+
+        c12 therefore appears exactly twice: once from the initialization
+        Comparison List and once when p1 itself is scheduled - but not a
+        third time for p2.
+        """
+        emissions = [c.pair for c in method]
+        assert emissions.count((0, 1)) == 2

@@ -1,0 +1,258 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+Each property pins an algebraic or structural guarantee the algorithms
+rely on: metric axioms for the match functions, conservation laws for the
+blocking transforms, agreement between the streaming implementations and
+brute-force reference computations, and the paper's two progressive-ER
+requirements (no lost comparisons, correct ordering structures).
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blocking.base import Block, BlockCollection
+from repro.blocking.filtering import BlockFiltering
+from repro.blocking.purging import BlockPurging
+from repro.blocking.scheduling import block_scheduling
+from repro.blocking.token_blocking import TokenBlocking
+from repro.core.ground_truth import GroundTruth
+from repro.core.profiles import ERType, ProfileStore
+from repro.core.tokenization import suffixes
+from repro.datasets.base import cluster_sizes
+from repro.matching.edit_distance import levenshtein
+from repro.matching.jaccard import jaccard
+from repro.metablocking.profile_index import ProfileIndex
+from repro.metablocking.weights import make_scheme
+from repro.neighborlist.neighbor_list import NeighborList
+from repro.neighborlist.position_index import PositionIndex
+from repro.progressive.gs_psn import GSPSN
+from repro.progressive.pbs import PBS
+
+short_text = st.text(alphabet="abcdef", max_size=12)
+token_lists = st.lists(
+    st.text(alphabet="abcd", min_size=1, max_size=3), min_size=0, max_size=8
+)
+
+
+class TestLevenshteinMetricAxioms:
+    @given(short_text)
+    def test_identity(self, s):
+        assert levenshtein(s, s) == 0
+
+    @given(short_text, short_text)
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(short_text, short_text, short_text)
+    @settings(max_examples=60)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(short_text, short_text)
+    def test_bounded_by_longer_string(self, a, b):
+        assert abs(len(a) - len(b)) <= levenshtein(a, b) <= max(len(a), len(b), 0)
+
+    @given(short_text, short_text, st.integers(min_value=0, max_value=6))
+    def test_max_distance_consistency(self, a, b, bound):
+        """The banded variant agrees with the exact one below the bound."""
+        exact = levenshtein(a, b)
+        banded = levenshtein(a, b, max_distance=bound)
+        if exact <= bound:
+            assert banded == exact
+        else:
+            assert banded == bound + 1
+
+
+class TestJaccardProperties:
+    @given(token_lists, token_lists)
+    def test_bounds(self, a, b):
+        assert 0.0 <= jaccard(a, b) <= 1.0
+
+    @given(token_lists, token_lists)
+    def test_symmetry(self, a, b):
+        assert jaccard(a, b) == jaccard(b, a)
+
+    @given(token_lists)
+    def test_self_similarity(self, a):
+        assert jaccard(a, a) == 1.0
+
+
+class TestGroundTruthClosure:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 15), st.integers(0, 15)).filter(
+                lambda p: p[0] != p[1]
+            ),
+            max_size=20,
+        )
+    )
+    def test_closure_is_equivalence(self, pairs):
+        truth = GroundTruth(pairs)
+        # Clusters are disjoint.
+        seen: set[int] = set()
+        for cluster in truth.clusters:
+            assert not (set(cluster) & seen)
+            seen.update(cluster)
+        # Pair count equals the sum over clusters of C(s, 2).
+        expected = sum(len(c) * (len(c) - 1) // 2 for c in truth.clusters)
+        assert len(truth) == expected
+        # Transitivity: any two members of a cluster match.
+        for cluster in truth.clusters:
+            members = list(cluster)
+            for a in members:
+                for b in members:
+                    if a != b:
+                        assert truth.is_match(a, b)
+
+
+class TestClusterSizes:
+    @given(st.integers(0, 400), st.integers(0, 2000))
+    def test_budget_invariants(self, profiles, matches):
+        sizes = cluster_sizes(profiles, matches)
+        produced = sum(s * (s - 1) // 2 for s in sizes)
+        assert sum(sizes) <= profiles
+        assert produced <= matches
+        if profiles >= 2 * matches:  # enough room for pair clusters
+            assert produced == matches
+
+
+class TestSuffixes:
+    @given(st.text(alphabet="xyz", min_size=0, max_size=10), st.integers(1, 5))
+    def test_counts_and_membership(self, token, min_len):
+        out = suffixes(token, min_len)
+        assert len(out) == max(0, len(token) - min_len + 1)
+        for s in out:
+            assert token.endswith(s)
+            assert len(s) >= min_len
+
+
+@st.composite
+def block_worlds(draw):
+    """A random store plus random blocks over it."""
+    n = draw(st.integers(4, 12))
+    store = ProfileStore.from_attribute_maps([{"a": str(i)} for i in range(n)])
+    block_count = draw(st.integers(1, 8))
+    blocks = []
+    for k in range(block_count):
+        members = draw(
+            st.lists(
+                st.integers(0, n - 1), min_size=2, max_size=n, unique=True
+            )
+        )
+        blocks.append(Block(f"b{k}", members, store))
+    return store, BlockCollection(blocks, store)
+
+
+class TestBlockingTransformLaws:
+    @given(block_worlds())
+    @settings(max_examples=40, deadline=None)
+    def test_purging_never_adds_pairs(self, world):
+        _, blocks = world
+        purged = BlockPurging(0.5).apply(blocks)
+        assert purged.distinct_pairs() <= blocks.distinct_pairs()
+
+    @given(block_worlds())
+    @settings(max_examples=40, deadline=None)
+    def test_filtering_never_adds_pairs(self, world):
+        _, blocks = world
+        filtered = BlockFiltering(0.5).apply(blocks)
+        assert filtered.distinct_pairs() <= blocks.distinct_pairs()
+
+    @given(block_worlds())
+    @settings(max_examples=40, deadline=None)
+    def test_scheduling_preserves_pairs_exactly(self, world):
+        _, blocks = world
+        scheduled = block_scheduling(blocks)
+        assert scheduled.distinct_pairs() == blocks.distinct_pairs()
+        cards = [
+            b.cardinality(blocks.store.er_type) for b in scheduled.blocks
+        ]
+        assert cards == sorted(cards)
+
+
+class TestLeCoBIAndWeights:
+    @given(block_worlds())
+    @settings(max_examples=30, deadline=None)
+    def test_lecobi_unique_ownership(self, world):
+        """Every distinct pair passes LeCoBI in exactly one block."""
+        _, blocks = world
+        scheduled = block_scheduling(blocks)
+        index = ProfileIndex(scheduled)
+        owners: dict[tuple[int, int], int] = {}
+        for block in scheduled:
+            for comparison in block.comparisons(ERType.DIRTY):
+                if index.is_first_encounter(
+                    comparison.i, comparison.j, block.block_id
+                ):
+                    assert comparison.pair not in owners
+                    owners[comparison.pair] = block.block_id
+        assert set(owners) == scheduled.distinct_pairs()
+
+    @given(block_worlds())
+    @settings(max_examples=30, deadline=None)
+    def test_arcs_against_brute_force(self, world):
+        store, blocks = world
+        scheduled = block_scheduling(blocks)
+        index = ProfileIndex(scheduled)
+        arcs = make_scheme("ARCS", index)
+        er_type = store.er_type
+        for i in range(len(store)):
+            for j in range(i + 1, len(store)):
+                expected = sum(
+                    1.0 / b.cardinality(er_type)
+                    for b in scheduled
+                    if i in b and j in b and b.cardinality(er_type) > 0
+                )
+                assert math.isclose(arcs.weight(i, j), expected, abs_tol=1e-12)
+
+
+@st.composite
+def token_stores(draw):
+    n = draw(st.integers(2, 10))
+    vocab = ["ka", "lo", "mi", "nu", "pe"]
+    records = []
+    for _ in range(n):
+        words = draw(st.lists(st.sampled_from(vocab), min_size=1, max_size=4))
+        records.append({"a": " ".join(words)})
+    return ProfileStore.from_attribute_maps(records)
+
+
+class TestProgressiveInvariants:
+    @given(token_stores())
+    @settings(max_examples=25, deadline=None)
+    def test_pbs_eventual_quality(self, store):
+        """PBS emits exactly the batch candidate set, no repeats."""
+        blocks = TokenBlocking().build(store)
+        emitted = [c.pair for c in PBS(store, blocks=blocks)]
+        assert len(emitted) == len(set(emitted))
+        assert set(emitted) == blocks.distinct_pairs()
+
+    @given(token_stores(), st.integers(1, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_gs_psn_no_repeats_and_sorted(self, store, w_max):
+        comparisons = list(GSPSN(store, max_window=w_max))
+        pairs = [c.pair for c in comparisons]
+        assert len(pairs) == len(set(pairs))
+        weights = [c.weight for c in comparisons]
+        assert weights == sorted(weights, reverse=True)
+
+    @given(token_stores(), st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_gs_psn_frequency_agreement(self, store, w_max):
+        """Streamed cumulative frequencies match the reference counter."""
+        method = GSPSN(store, max_window=w_max, tie_order="insertion")
+        method.initialize()
+        nl = NeighborList.schema_agnostic(store, tie_order="insertion")
+        reference = PositionIndex(nl)
+        for comparison in method._comparisons:
+            freq = reference.cooccurrence_frequency(
+                comparison.i, comparison.j, w_max, cumulative=True
+            )
+            expected = method.weighting.weight(
+                freq, comparison.i, comparison.j, reference
+            )
+            assert math.isclose(comparison.weight, expected, abs_tol=1e-12)
