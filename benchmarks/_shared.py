@@ -17,8 +17,9 @@ from functools import lru_cache
 
 from repro.datasets.base import Dataset
 from repro.datasets.registry import load_dataset
-from repro.evaluation.progressive_recall import RecallCurve, run_progressive
-from repro.progressive.base import ProgressiveMethod, build_method
+from repro.evaluation.progressive_recall import RecallCurve
+from repro.pipeline import ERPipeline, Resolver
+from repro.progressive.base import ProgressiveMethod
 
 # Scales used by the benches (laptop-scale; recorded in EXPERIMENTS.md).
 BENCH_SCALES: dict[str, float] = {
@@ -50,26 +51,38 @@ def dataset(name: str) -> Dataset:
     return load_dataset(name, scale=BENCH_SCALES[name])
 
 
-def make_method(name: str, data: Dataset) -> ProgressiveMethod:
-    """Instantiate a method with the paper's per-experiment settings."""
-    if name == "PSN":
-        if data.psn_key is None:
-            raise ValueError(f"{data.name} has no schema-based PSN key")
-        return build_method("PSN", data.store, key_function=data.psn_key)
+def make_pipeline(name: str, data: Dataset) -> ERPipeline:
+    """The pipeline spec for a method with the paper's per-experiment
+    settings (the registry resolves any acronym spelling)."""
+    if name == "PSN" and data.psn_key is None:
+        raise ValueError(f"{data.name} has no schema-based PSN key")
     if name == "GS-PSN":
         family = "structured" if data.name in STRUCTURED else "heterogeneous"
-        return build_method("GSPSN", data.store, max_window=GSPSN_WMAX[family])
-    return build_method(name.replace("-", ""), data.store)
+        return ERPipeline().method(name, max_window=GSPSN_WMAX[family])
+    return ERPipeline().method(name)
+
+
+def make_resolver(name: str, data: Dataset) -> Resolver:
+    """A live session for one (method, dataset) cell."""
+    return make_pipeline(name, data).fit(data)
+
+
+def make_method(name: str, data: Dataset) -> ProgressiveMethod:
+    """A bare, uninitialized method instance for one cell.
+
+    The timing benches (Figure 13) measure the initialization phase, so
+    the method must come back un-initialized with block building still
+    ahead of it - ``Resolver.build_method`` guarantees exactly that for
+    the paper's token workflow.
+    """
+    return make_resolver(name, data).build_method()
 
 
 @lru_cache(maxsize=None)
 def curve(dataset_name: str, method_name: str, max_ec_star: float) -> RecallCurve:
     """A cached progressive run (ground-truth match decisions)."""
     data = dataset(dataset_name)
-    method = make_method(method_name, data)
-    return run_progressive(
-        method, data.ground_truth, max_ec_star=max_ec_star, dataset=dataset_name
-    )
+    return make_resolver(method_name, data).evaluate(max_ec_star=max_ec_star)
 
 
 def emit(text: str) -> None:

@@ -2,9 +2,9 @@
 
 The scenario from the paper's introduction: an online catalog update must
 link as many entities as possible before a deadline.  Two sources with
-different schemas (imdb-like vs dbpedia-like) are resolved with PPS and a
-real Jaccard match function; we stop on a wall-clock budget and report the
-matches actually confirmed.
+different schemas (imdb-like vs dbpedia-like) are resolved by one
+pipeline - PPS emission, a real Jaccard match function and a wall-clock
+budget - and we report the matches actually confirmed when time ran out.
 
 Run:  python examples/clean_clean_web_integration.py
 """
@@ -13,8 +13,7 @@ from __future__ import annotations
 
 import time
 
-from repro import JaccardMatcher, load_dataset
-from repro.progressive import PPS
+from repro import ERPipeline, load_dataset
 
 TIME_BUDGET_SECONDS = 2.0
 MATCH_THRESHOLD = 0.35
@@ -26,35 +25,33 @@ def main() -> None:
     print(f"dataset: {dataset.name}  {dataset.stats()}")
     print(f"time budget: {TIME_BUDGET_SECONDS:.1f}s of matching\n")
 
-    matcher = JaccardMatcher(threshold=MATCH_THRESHOLD)
-    method = PPS(store)
+    resolver = (
+        ERPipeline()
+        .method("PPS")
+        .matcher("jaccard", threshold=MATCH_THRESHOLD)
+        .budget(seconds=TIME_BUDGET_SECONDS)
+        .fit(dataset)
+    )
 
     t0 = time.perf_counter()
-    method.initialize()
-    init_seconds = time.perf_counter() - t0
-    print(f"initialization: {init_seconds:.2f}s")
+    resolver.initialize()
+    print(f"initialization: {time.perf_counter() - t0:.2f}s")
 
-    confirmed: set[tuple[int, int]] = set()
-    emitted = 0
-    deadline = time.perf_counter() + TIME_BUDGET_SECONDS
-    for comparison in method:
-        if time.perf_counter() > deadline:
-            break
-        emitted += 1
-        a, b = store[comparison.i], store[comparison.j]
-        if matcher(a, b):
-            confirmed.add(comparison.pair)
+    for _comparison in resolver.stream():
+        pass  # the matcher runs on every emission; the budget stops us
 
+    progress = resolver.progress()
+    confirmed = resolver.matches
     true_positives = sum(truth.is_match(i, j) for i, j in confirmed)
     recall = true_positives / len(truth)
     precision = true_positives / len(confirmed) if confirmed else 0.0
-    print(f"comparisons executed: {emitted}")
+    print(f"comparisons executed: {progress.emitted}")
     print(f"pairs confirmed by the match function: {len(confirmed)}")
     print(f"precision of confirmations: {precision:.3f}")
     print(f"recall of the ground truth: {recall:.3f}")
     print(
-        f"\nThe progressive order matters: {emitted} comparisons is"
-        f" {emitted / store.total_candidate_comparisons():.2%} of the"
+        f"\nThe progressive order matters: {progress.emitted} comparisons is"
+        f" {progress.emitted / store.total_candidate_comparisons():.2%} of the"
         f" brute-force space, yet it recovers {recall:.0%} of all matches."
     )
 

@@ -3,9 +3,10 @@
 Shows the full public API surface on user-supplied data instead of the
 bundled benchmarks:
 
-1. build a ProfileStore from plain dictionaries (e.g. parsed JSON);
+1. feed plain dictionaries (e.g. parsed JSON) straight into the pipeline;
 2. inspect the Token Blocking workflow and its quality (PC/PQ/RR);
-3. run PPS progressively with a custom match function;
+3. register a custom match function in the shared registry and run PPS
+   progressively with it, by name - no subclass wiring at call sites;
 4. compare against batch Meta-blocking pruning (WNP) on the same blocks.
 
 Run:  python examples/custom_dataset_and_matcher.py
@@ -15,6 +16,7 @@ from __future__ import annotations
 
 from repro import (
     EntityProfile,
+    ERPipeline,
     GroundTruth,
     ProfileStore,
     evaluate_blocking,
@@ -22,7 +24,7 @@ from repro import (
 )
 from repro.matching import MatchFunction, jaccard
 from repro.metablocking import weighted_node_pruning
-from repro.progressive import PPS
+from repro.registry import matchers
 
 # Product records from two feeds, parsed out of JSON - note the different
 # attribute conventions (brand/manufacturer, title/name).
@@ -39,10 +41,18 @@ CATALOG = [
 TRUTH = GroundTruth([(0, 1), (2, 3), (4, 5)], closed=False)
 
 
+@matchers.register("token-overlap")
 class TokenOverlapMatcher(MatchFunction):
-    """Custom match function: Jaccard over 3+ character tokens only."""
+    """Custom match function: Jaccard over 3+ character tokens only.
+
+    Registering it makes ``.matcher("token-overlap", ...)`` work anywhere
+    a built-in matcher name does - the entry-point style of extension.
+    """
 
     name = "token-overlap"
+
+    def __init__(self, threshold: float = 0.4) -> None:
+        self.threshold = threshold
 
     def similarity(self, a: EntityProfile, b: EntityProfile) -> float:
         tokens_a = [t for t in a.text().lower().split() if len(t) >= 3]
@@ -50,7 +60,7 @@ class TokenOverlapMatcher(MatchFunction):
         return jaccard(tokens_a, tokens_b)
 
     def __call__(self, a: EntityProfile, b: EntityProfile) -> bool:
-        return self.similarity(a, b) >= 0.4
+        return self.similarity(a, b) >= self.threshold
 
 
 def main() -> None:
@@ -62,21 +72,26 @@ def main() -> None:
     print(f"token blocking workflow: |B|={len(blocks)} blocks, {quality}")
 
     # -- progressive resolution with the custom matcher ----------------------
-    matcher = TokenOverlapMatcher()
+    # The blocks built above are reused directly (bring-your-own-blocks),
+    # so blocking runs once for the quality report, PPS and WNP alike.
+    resolver = (
+        ERPipeline()
+        .method("PPS", exhaustive=True, blocks=blocks)
+        .matcher("token-overlap", threshold=0.4)
+        .fit(store, ground_truth=TRUTH)
+    )
     print("\nprogressive emissions (PPS + custom matcher):")
-    method = PPS(store, blocks=blocks, exhaustive=True)
-    found: set[tuple[int, int]] = set()
-    for rank, comparison in enumerate(method, start=1):
+    for rank, comparison in enumerate(resolver.stream(), start=1):
         a, b = store[comparison.i], store[comparison.j]
-        decision = matcher(a, b)
-        marker = "MATCH" if decision else ""
+        # resolver.matcher is the registered TokenOverlapMatcher instance
+        similarity = resolver.matcher.similarity(a, b)
+        marker = "MATCH" if similarity >= resolver.matcher.threshold else ""
         print(
             f"  {rank:2d}. ({comparison.i}, {comparison.j})"
-            f" weight={comparison.weight:.2f} sim={matcher.similarity(a, b):.2f}"
+            f" weight={comparison.weight:.2f} sim={similarity:.2f}"
             f" {marker}"
         )
-        if decision:
-            found.add(comparison.pair)
+    found = resolver.matches
     correct = sum(TRUTH.is_match(i, j) for i, j in found)
     print(f"\nconfirmed {len(found)} pairs, {correct} correct of {len(TRUTH)} true")
 

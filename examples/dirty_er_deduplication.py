@@ -5,19 +5,20 @@ method gets the same comparison budget (ec* = 5, i.e. five comparisons per
 existing duplicate) and we report how much of the ground truth each one
 recovers, plus the normalized area under the recall curve (AUC*).
 
-This is a miniature of the paper's Figure 9/10 experiment; the schema-based
-PSN baseline runs with the literature's census key
-(soundex(surname) + initial + zipcode) while the schema-agnostic methods
-need no schema knowledge at all.
+Each run is one :class:`ERPipeline` spec bound to the dataset; the PSN
+baseline needs no special-casing because ``fit(dataset)`` injects the
+literature's census key (soundex(surname) + initial + zipcode)
+automatically.
+
+This is a miniature of the paper's Figure 9/10 experiment.
 
 Run:  python examples/dirty_er_deduplication.py
 """
 
 from __future__ import annotations
 
-from repro import load_dataset, run_progressive
+from repro import ERPipeline, load_dataset
 from repro.evaluation import format_table
-from repro.progressive import build_method
 
 BUDGET_EC_STAR = 5.0
 METHODS = ["PSN", "SA-PSN", "SA-PSAB", "LS-PSN", "GS-PSN", "PBS", "PPS"]
@@ -29,10 +30,11 @@ def main() -> None:
 
     rows = []
     for name in METHODS:
-        kwargs = {"key_function": dataset.psn_key} if name == "PSN" else {}
-        method = build_method(name, dataset.store, **kwargs)
-        curve = run_progressive(
-            method, dataset.ground_truth, max_ec_star=BUDGET_EC_STAR
+        curve = (
+            ERPipeline()
+            .method(name)
+            .fit(dataset)
+            .evaluate(max_ec_star=BUDGET_EC_STAR)
         )
         rows.append(
             [

@@ -7,18 +7,18 @@ The paper's conclusion gives a decision rule:
 * semi-structured/RDF data (token-level noise, URIs) -> equality-based
   methods (PBS, PPS), which are robust in all settings.
 
-This example demonstrates the rule empirically by running both families
-on a curated dataset (restaurant) and an RDF one (freebase-like), then
-printing the recommendation the numbers support.
+This example demonstrates the rule empirically by sweeping one base
+:class:`ERPipeline` spec over both families on a curated dataset
+(restaurant) and an RDF one (freebase-like), then printing the
+recommendation the numbers support.
 
 Run:  python examples/method_selection.py
 """
 
 from __future__ import annotations
 
-from repro import load_dataset, run_progressive
+from repro import ERPipeline, load_dataset
 from repro.evaluation import format_table, sparkline
-from repro.progressive import build_method
 
 FAMILIES = {
     "similarity": ["LS-PSN", "GS-PSN"],
@@ -28,13 +28,18 @@ FAMILIES = {
 
 def profile_dataset(name: str, scale: float | None = None) -> dict[str, float]:
     dataset = load_dataset(name, scale=scale)
+    base = ERPipeline()
     scores: dict[str, float] = {}
     print(f"\n=== {name} ===")
     rows = []
     for family, methods in FAMILIES.items():
         for method_name in methods:
-            method = build_method(method_name, dataset.store)
-            curve = run_progressive(method, dataset.ground_truth, max_ec_star=10)
+            curve = (
+                base.clone()
+                .method(method_name)
+                .fit(dataset)
+                .evaluate(max_ec_star=10)
+            )
             auc = curve.normalized_auc_at(10)
             scores[method_name] = auc
             recalls = [curve.recall_at(x / 4) for x in range(1, 41)]

@@ -1,18 +1,27 @@
 """Quickstart: progressive ER on the paper's running example.
 
 Builds the six profiles of Figure 3a (a relational pair, an RDF pair and
-two free-text snippets describing three real-world entities), runs
-Progressive Profile Scheduling (PPS) and prints the comparisons in
-emission order - the duplicates surface first, which is the whole point
-of progressive ER.
+two free-text snippets describing three real-world entities) and resolves
+them with the unified pipeline API, two ways:
+
+1. ``resolve()`` - the one-call facade: ranked pairs + recall in one shot;
+2. ``ERPipeline`` - the composable builder, streaming the comparisons in
+   emission order so the duplicates visibly surface first, which is the
+   whole point of progressive ER.
 
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import EntityProfile, ERType, GroundTruth, ProfileStore
-from repro.progressive import PPS
+from repro import (
+    EntityProfile,
+    ERPipeline,
+    ERType,
+    GroundTruth,
+    ProfileStore,
+    resolve,
+)
 
 profiles = ProfileStore(
     [
@@ -33,25 +42,35 @@ ground_truth = GroundTruth.from_clusters([(0, 1, 2), (3, 4)])
 
 
 def main() -> None:
-    # No schema knowledge needed: PPS blocks on attribute-value tokens,
-    # weights candidate pairs on the Blocking Graph and schedules profiles
-    # by duplication likelihood.  purge_ratio=None because a 6-profile toy
-    # has no stop-word blocks to purge.
-    method = PPS(profiles, purge_ratio=None)
+    # --- one call.  No schema knowledge needed: PPS blocks on
+    # attribute-value tokens, weights candidate pairs on the Blocking
+    # Graph and schedules profiles by duplication likelihood.  purge=None
+    # because a 6-profile toy has no stop-word blocks to purge.
+    result = resolve(profiles, method="PPS", purge=None,
+                     ground_truth=ground_truth)
+    print(f"resolve(): {result.emitted} comparisons, "
+          f"recall={result.recall:.0%}, "
+          f"AUC*@1={result.curve.normalized_auc_at(1.0):.2f}\n")
+
+    # --- the composable pipeline: same run, streamed step by step.
+    resolver = (
+        ERPipeline()
+        .blocking("token", purge=None)
+        .meta("ARCS")
+        .method("PPS")
+        .fit(profiles, ground_truth=ground_truth)
+    )
 
     print("emission | comparison          | weight | duplicate?")
     print("---------+---------------------+--------+-----------")
-    found: set[tuple[int, int]] = set()
     total = len(ground_truth)
-    for rank, comparison in enumerate(method, start=1):
+    for rank, comparison in enumerate(resolver.stream(), start=1):
         is_match = ground_truth.is_match(comparison.i, comparison.j)
-        if is_match:
-            found.add(comparison.pair)
         print(
             f"{rank:8d} | p{comparison.i + 1} vs p{comparison.j + 1}"
             f"{'':12s} | {comparison.weight:6.2f} | {'YES' if is_match else ''}"
         )
-        if len(found) == total:
+        if resolver.progress().recall == 1.0:
             print(f"\nAll {total} duplicate pairs found after {rank} comparisons.")
             break
 

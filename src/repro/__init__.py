@@ -8,14 +8,34 @@ PPS), the schema-based PSN baseline, every substrate they depend on
 lists, position/profile indexes, blocking graphs) and the full evaluation
 harness (recall progressiveness, AUC*, timing).
 
-Quickstart::
+Quickstart - one call::
 
-    from repro import load_dataset, build_method, run_progressive
+    from repro import resolve
 
-    dataset = load_dataset("restaurant")
-    method = build_method("PPS", dataset.store)
-    curve = run_progressive(method, dataset.ground_truth, max_ec_star=10)
-    print(curve.normalized_auc_at(1.0))
+    result = resolve("restaurant", method="PPS", budget=10_000)
+    print(result.recall, result.curve.normalized_auc_at(1.0))
+
+Full control - the composable pipeline::
+
+    from repro import ERPipeline
+
+    resolver = (
+        ERPipeline()
+        .blocking("token", purge=True, filter_ratio=0.8)
+        .meta("ARCS")
+        .method("PPS", k_max=20)
+        .matcher("jaccard", threshold=0.75)
+        .fit("cora")
+    )
+    for comparison in resolver.stream():
+        ...                                   # pairs, best first
+    curve = resolver.evaluate()               # the paper's protocol
+
+Components (methods, blocking schemes, weighting schemes, matchers) are
+addressed by name through a shared registry that accepts any spelling
+("SA-PSN" == "sapsn"); register your own via ``repro.registry``.  The
+legacy entrypoints (``build_method`` + ``run_progressive``) keep working
+and produce identical results.
 """
 
 from repro.blocking import (
@@ -28,6 +48,7 @@ from repro.blocking import (
     SuffixArraysBlocking,
     TokenBlocking,
     block_scheduling,
+    blocking_workflow,
     soundex,
     token_blocking_workflow,
 )
@@ -52,11 +73,26 @@ from repro.matching import (
     EditDistanceMatcher,
     JaccardMatcher,
     OracleMatcher,
+    available_matchers,
     jaccard,
     levenshtein,
+    make_matcher,
 )
 from repro.metablocking import ProfileIndex, build_blocking_graph, make_scheme
 from repro.neighborlist import NeighborList, PositionIndex, RCFWeighting
+from repro.pipeline import (
+    BlockingConfig,
+    BudgetConfig,
+    ERPipeline,
+    MatcherConfig,
+    MetaBlockingConfig,
+    MethodConfig,
+    PipelineConfig,
+    ResolutionResult,
+    Resolver,
+    ResolverProgress,
+    resolve,
+)
 from repro.progressive import (
     GSPSN,
     LSPSN,
@@ -69,10 +105,26 @@ from repro.progressive import (
     available_methods,
     build_method,
 )
+from repro.registry import ComponentRegistry, get_registry
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # pipeline API
+    "ERPipeline",
+    "Resolver",
+    "ResolverProgress",
+    "ResolutionResult",
+    "resolve",
+    "PipelineConfig",
+    "BlockingConfig",
+    "MetaBlockingConfig",
+    "MethodConfig",
+    "MatcherConfig",
+    "BudgetConfig",
+    # registry
+    "ComponentRegistry",
+    "get_registry",
     # core
     "Comparison",
     "ComparisonList",
@@ -91,6 +143,7 @@ __all__ = [
     "SuffixArraysBlocking",
     "TokenBlocking",
     "block_scheduling",
+    "blocking_workflow",
     "soundex",
     "token_blocking_workflow",
     # meta-blocking
@@ -116,6 +169,8 @@ __all__ = [
     "EditDistanceMatcher",
     "JaccardMatcher",
     "OracleMatcher",
+    "available_matchers",
+    "make_matcher",
     "jaccard",
     "levenshtein",
     # datasets

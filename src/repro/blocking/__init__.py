@@ -16,7 +16,7 @@ from repro.blocking.suffix_arrays import (
     SuffixNode,
 )
 from repro.blocking.token_blocking import TokenBlocking
-from repro.blocking.workflow import token_blocking_workflow
+from repro.blocking.workflow import blocking_workflow, token_blocking_workflow
 
 __all__ = [
     "Block",
@@ -34,5 +34,6 @@ __all__ = [
     "SuffixForest",
     "SuffixNode",
     "TokenBlocking",
+    "blocking_workflow",
     "token_blocking_workflow",
 ]

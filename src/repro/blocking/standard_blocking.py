@@ -17,6 +17,7 @@ from typing import Callable, Iterable, Sequence
 
 from repro.blocking.base import Block, BlockCollection
 from repro.core.profiles import EntityProfile, ERType, ProfileStore
+from repro.registry import blocking_schemes
 
 _SOUNDEX_CODES = {
     **dict.fromkeys("bfpv", "1"),
@@ -140,3 +141,8 @@ def keyed_profiles(
         if key:
             pairs.append((key, profile.profile_id))
     return pairs
+
+
+blocking_schemes.register(
+    "standard", StandardBlocking, aliases=("standard-blocking", "key")
+)

@@ -20,6 +20,7 @@ from typing import Iterator, Sequence
 from repro.blocking.base import Block, BlockCollection
 from repro.core.profiles import ERType, ProfileStore
 from repro.core.tokenization import DEFAULT_TOKENIZER, Tokenizer, suffixes
+from repro.registry import blocking_schemes
 
 
 class SuffixNode:
@@ -174,3 +175,8 @@ def iter_forest_blocks(
     """Blocks in progressive order (convenience wrapper)."""
     for node in forest.leaves_first_order(er_type):
         yield node.block
+
+
+blocking_schemes.register(
+    "suffix", SuffixArraysBlocking, aliases=("suffix-arrays", "sa")
+)

@@ -13,6 +13,7 @@ from __future__ import annotations
 from repro.blocking.base import Block, BlockCollection
 from repro.core.profiles import ERType, ProfileStore
 from repro.core.tokenization import DEFAULT_TOKENIZER, Tokenizer
+from repro.registry import blocking_schemes
 
 
 class TokenBlocking:
@@ -46,3 +47,6 @@ class TokenBlocking:
                 continue
             blocks.append(block)
         return BlockCollection(blocks, store)
+
+
+blocking_schemes.register("token", TokenBlocking, aliases=("token-blocking",))

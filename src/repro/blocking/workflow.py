@@ -20,9 +20,33 @@ from __future__ import annotations
 from repro.blocking.base import BlockCollection, drop_singleton_blocks
 from repro.blocking.filtering import BlockFiltering
 from repro.blocking.purging import BlockPurging
-from repro.blocking.token_blocking import TokenBlocking
 from repro.core.profiles import ProfileStore
 from repro.core.tokenization import DEFAULT_TOKENIZER, Tokenizer
+from repro.registry import blocking_schemes
+
+
+def blocking_workflow(
+    store: ProfileStore,
+    scheme: str = "token",
+    purge_ratio: float | None = 0.1,
+    filter_ratio: float | None = 0.8,
+    **scheme_kwargs,
+) -> BlockCollection:
+    """Any registered blocking scheme -> Purging -> Filtering.
+
+    The generalized form of :func:`token_blocking_workflow`: the block
+    builder is resolved from the shared registry ("token", "standard",
+    "suffix", or any user-registered scheme exposing ``build(store)``),
+    then the paper's purge/filter steps apply uniformly.  ``None``
+    disables a step; ``scheme_kwargs`` go to the builder's constructor.
+    """
+    builder = blocking_schemes.build(scheme, **scheme_kwargs)
+    blocks = builder.build(store)
+    if purge_ratio is not None:
+        blocks = BlockPurging(purge_ratio).apply(blocks)
+    if filter_ratio is not None:
+        blocks = BlockFiltering(filter_ratio).apply(blocks)
+    return drop_singleton_blocks(blocks)
 
 
 def token_blocking_workflow(
@@ -49,9 +73,10 @@ def token_blocking_workflow(
     BlockCollection
         Redundancy-positive blocks ready for the Blocking Graph methods.
     """
-    blocks = TokenBlocking(tokenizer).build(store)
-    if purge_ratio is not None:
-        blocks = BlockPurging(purge_ratio).apply(blocks)
-    if filter_ratio is not None:
-        blocks = BlockFiltering(filter_ratio).apply(blocks)
-    return drop_singleton_blocks(blocks)
+    return blocking_workflow(
+        store,
+        scheme="token",
+        purge_ratio=purge_ratio,
+        filter_ratio=filter_ratio,
+        tokenizer=tokenizer,
+    )

@@ -7,6 +7,8 @@ from repro.matching.match_functions import (
     JaccardMatcher,
     MatchFunction,
     OracleMatcher,
+    available_matchers,
+    make_matcher,
 )
 
 __all__ = [
@@ -18,4 +20,6 @@ __all__ = [
     "JaccardMatcher",
     "MatchFunction",
     "OracleMatcher",
+    "available_matchers",
+    "make_matcher",
 ]

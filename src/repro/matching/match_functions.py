@@ -19,6 +19,7 @@ from repro.core.profiles import EntityProfile
 from repro.core.tokenization import DEFAULT_TOKENIZER, Tokenizer
 from repro.matching.edit_distance import edit_similarity
 from repro.matching.jaccard import jaccard
+from repro.registry import matchers
 
 
 class MatchFunction(ABC):
@@ -102,3 +103,22 @@ class OracleMatcher(MatchFunction):
         if self.cost_model is not None:
             self.cost_model.similarity(a, b)  # paid, then discarded
         return self.ground_truth.is_match(a.profile_id, b.profile_id)
+
+
+matchers.register("edit-distance", EditDistanceMatcher, aliases=("ED",))
+matchers.register("jaccard", JaccardMatcher, aliases=("JS",))
+matchers.register("oracle", OracleMatcher)
+
+
+def available_matchers() -> list[str]:
+    """Names of all registered match functions."""
+    return matchers.names()
+
+
+def make_matcher(name: str, **kwargs) -> MatchFunction:
+    """Instantiate a match function by registry name.
+
+    >>> make_matcher("jaccard", threshold=0.75).threshold
+    0.75
+    """
+    return matchers.build(name, **kwargs)

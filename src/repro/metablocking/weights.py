@@ -25,6 +25,7 @@ import math
 from abc import ABC, abstractmethod
 
 from repro.metablocking.profile_index import ProfileIndex
+from repro.registry import weighting_schemes
 
 
 class WeightingScheme(ABC):
@@ -159,22 +160,16 @@ class EJS(JS):
         )
 
 
-_SCHEMES: dict[str, type[WeightingScheme]] = {
-    cls.name: cls for cls in (ARCS, CBS, ECBS, JS, EJS)
-}
+for _scheme in (ARCS, CBS, ECBS, JS, EJS):
+    weighting_schemes.register(_scheme.name, _scheme)
+del _scheme
 
 
 def available_schemes() -> list[str]:
     """Names of all registered weighting schemes."""
-    return sorted(_SCHEMES)
+    return weighting_schemes.names()
 
 
 def make_scheme(name: str, index: ProfileIndex) -> WeightingScheme:
-    """Instantiate a scheme by name (case-insensitive)."""
-    try:
-        cls = _SCHEMES[name.upper()]
-    except KeyError:
-        raise ValueError(
-            f"unknown weighting scheme {name!r}; available: {available_schemes()}"
-        ) from None
-    return cls(index)
+    """Instantiate a scheme by name (spelling-insensitive)."""
+    return weighting_schemes.build(name, index)

@@ -1,0 +1,34 @@
+"""The unified pipeline API: one composable entrypoint for the stack.
+
+* :class:`ERPipeline` - fluent, registry-backed spec of a run
+  (blocking -> meta-blocking -> progressive method -> matcher -> budgets);
+* :class:`Resolver` - a live session returned by ``pipeline.fit(data)``:
+  streaming emission, batch pulls, budget control, evaluation;
+* :func:`resolve` - the one-call quickstart facade.
+"""
+
+from repro.pipeline.builder import ERPipeline
+from repro.pipeline.config import (
+    BlockingConfig,
+    BudgetConfig,
+    MatcherConfig,
+    MetaBlockingConfig,
+    MethodConfig,
+    PipelineConfig,
+)
+from repro.pipeline.facade import ResolutionResult, resolve
+from repro.pipeline.resolver import Resolver, ResolverProgress
+
+__all__ = [
+    "ERPipeline",
+    "Resolver",
+    "ResolverProgress",
+    "ResolutionResult",
+    "resolve",
+    "PipelineConfig",
+    "BlockingConfig",
+    "MetaBlockingConfig",
+    "MethodConfig",
+    "MatcherConfig",
+    "BudgetConfig",
+]

@@ -1,0 +1,222 @@
+"""The :class:`ERPipeline` fluent builder.
+
+One composable entrypoint for the whole blocking -> meta-blocking ->
+progressive emission -> matching -> evaluation stack::
+
+    pipeline = (
+        ERPipeline()
+        .blocking("token", purge=True, filter_ratio=0.8)
+        .meta("ARCS")
+        .method("PPS", k_max=20)
+        .matcher("jaccard", threshold=0.75)
+        .budget(comparisons=10_000)
+    )
+    resolver = pipeline.fit(load_dataset("cora"))
+
+Every stage call validates its component name against the shared
+registry immediately, so typos fail at build time with the list of
+available components.  ``to_dict()`` / ``from_dict()`` round-trip the
+whole spec for reproducible experiment configs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable, Mapping
+from typing import Any, Callable
+
+from repro.core.ground_truth import GroundTruth
+from repro.core.profiles import ProfileStore
+from repro.pipeline.config import (
+    BlockingConfig,
+    BudgetConfig,
+    MatcherConfig,
+    MetaBlockingConfig,
+    MethodConfig,
+    PipelineConfig,
+)
+from repro.pipeline.resolver import Resolver
+
+
+def _ratio(flag: bool | float | None, default: float) -> float | None:
+    """Interpret a purge/filter knob: True -> paper default, False/None ->
+    step disabled, a float -> that ratio."""
+    if flag is True:
+        return default
+    if flag is False or flag is None:
+        return None
+    return float(flag)
+
+
+class ERPipeline:
+    """Fluent, registry-backed spec of a progressive ER run.
+
+    Stage methods mutate the pipeline and return it, so calls chain;
+    :meth:`clone` forks a spec for parameter sweeps.  :meth:`fit` binds
+    the spec to data and returns a live :class:`Resolver` session.
+    """
+
+    def __init__(self, config: PipelineConfig | None = None) -> None:
+        self._config = config if config is not None else PipelineConfig()
+
+    # -- stage configuration -------------------------------------------------
+
+    def blocking(
+        self,
+        scheme: str = "token",
+        *,
+        purge: bool | float | None = True,
+        filter_ratio: bool | float | None = 0.8,
+        **params: Any,
+    ) -> "ERPipeline":
+        """Configure block building plus the purge/filter steps.
+
+        ``purge``/``filter_ratio`` accept ``True`` (paper defaults: 0.1
+        and 0.8), ``False``/``None`` (skip the step) or an explicit
+        ratio.  Extra ``params`` go to the scheme's constructor (e.g.
+        ``min_length=3`` for "suffix").
+        """
+        self._config.blocking = BlockingConfig(
+            scheme=scheme,
+            purge_ratio=_ratio(purge, 0.1),
+            filter_ratio=_ratio(filter_ratio, 0.8),
+            params=params,
+        )
+        return self
+
+    def meta(self, weighting: str = "ARCS") -> "ERPipeline":
+        """Configure Blocking Graph edge weighting (equality methods)."""
+        self._config.meta = MetaBlockingConfig(weighting=weighting)
+        return self
+
+    def method(self, name: str = "PPS", **params: Any) -> "ERPipeline":
+        """Choose the progressive method; ``params`` go to its constructor."""
+        self._config.method = MethodConfig(name=name, params=params)
+        return self
+
+    def matcher(self, name: str = "jaccard", **params: Any) -> "ERPipeline":
+        """Attach a match function applied to every streamed pair."""
+        self._config.matcher = MatcherConfig(name=name, params=params)
+        return self
+
+    def no_matcher(self) -> "ERPipeline":
+        """Drop the matcher stage (stream pairs without deciding them)."""
+        self._config.matcher = None
+        return self
+
+    def budget(
+        self,
+        comparisons: int | None = None,
+        seconds: float | None = None,
+        target_recall: float | None = None,
+    ) -> "ERPipeline":
+        """Set emission budgets; the first one hit stops the stream."""
+        self._config.budget = BudgetConfig(
+            comparisons=comparisons,
+            seconds=seconds,
+            target_recall=target_recall,
+        )
+        return self
+
+    # -- spec round-trip ------------------------------------------------------
+
+    @property
+    def config(self) -> PipelineConfig:
+        """The underlying typed spec."""
+        return self._config
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able spec reproducing this pipeline via ``from_dict``."""
+        return self._config.to_dict()
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ERPipeline":
+        """Rebuild a pipeline from a ``to_dict`` spec."""
+        return cls(PipelineConfig.from_dict(data))
+
+    def clone(self) -> "ERPipeline":
+        """An independent copy (for sweeps over one base spec)."""
+        return ERPipeline(_snapshot(self._config))
+
+    # -- binding to data ------------------------------------------------------
+
+    def fit(
+        self,
+        data: "ProfileStore | Any",
+        ground_truth: GroundTruth | None = None,
+    ) -> Resolver:
+        """Bind the spec to data and return a live :class:`Resolver`.
+
+        ``data`` may be a :class:`ProfileStore`, a
+        :class:`~repro.datasets.Dataset` (its ground truth, name and PSN
+        key are picked up automatically), the *name* of a bundled
+        dataset, or an iterable of attribute mappings (parsed JSON
+        records).
+        """
+        store, truth, name, psn_key = _coerce_data(data, ground_truth)
+        return Resolver(
+            _snapshot(self._config),
+            store,
+            ground_truth=truth,
+            dataset_name=name,
+            psn_key=psn_key,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        spec = self._config
+        matcher = spec.matcher.name if spec.matcher else None
+        return (
+            f"ERPipeline(blocking={spec.blocking.scheme!r}, "
+            f"meta={spec.meta.weighting!r}, method={spec.method.name!r}, "
+            f"matcher={matcher!r})"
+        )
+
+
+def _snapshot(config: PipelineConfig) -> PipelineConfig:
+    """An independent copy of the spec that later builder calls cannot
+    mutate.
+
+    Stage dataclasses and their ``params`` dicts are copied, but the
+    param *values* are shared - deliberately, so heavy runtime objects
+    passed as params (a pre-built ``blocks`` collection, a tokenizer)
+    are reused rather than deep-copied.
+    """
+
+    def _copy_params(stage):
+        return dataclasses.replace(stage, params=dict(stage.params))
+
+    return PipelineConfig(
+        blocking=_copy_params(config.blocking),
+        meta=dataclasses.replace(config.meta),
+        method=_copy_params(config.method),
+        matcher=None if config.matcher is None else _copy_params(config.matcher),
+        budget=dataclasses.replace(config.budget),
+    )
+
+
+def _coerce_data(
+    data: Any, ground_truth: GroundTruth | None
+) -> tuple[ProfileStore, GroundTruth | None, str, Callable | None]:
+    """Normalize ``fit``'s accepted inputs to (store, truth, name, psn_key)."""
+    from repro.datasets.base import Dataset
+    from repro.datasets.registry import load_dataset
+
+    if isinstance(data, str):
+        data = load_dataset(data)
+    if isinstance(data, Dataset):
+        truth = ground_truth if ground_truth is not None else data.ground_truth
+        return data.store, truth, data.name, data.psn_key
+    if isinstance(data, ProfileStore):
+        return data, ground_truth, "", None
+    if isinstance(data, Mapping):
+        raise TypeError(
+            "fit got a single record (mapping); pass a list of records - "
+            "entity resolution needs at least two profiles"
+        )
+    if isinstance(data, Iterable):
+        store = ProfileStore.from_attribute_maps(list(data))
+        return store, ground_truth, "", None
+    raise TypeError(
+        "fit expects a ProfileStore, Dataset, dataset name or iterable of "
+        f"attribute mappings, got {type(data).__name__}"
+    )

@@ -1,0 +1,190 @@
+"""Typed per-stage configuration for :class:`~repro.pipeline.ERPipeline`.
+
+Each stage of the pipeline (blocking, meta-blocking weighting, progressive
+method, matching, budgets) is described by a small dataclass that
+
+* validates its fields against the shared component registries on
+  construction (unknown names fail fast with the available options), and
+* round-trips through plain dicts (``to_dict`` / ``from_dict``), so a
+  whole experiment is a JSON-able spec that reproduces the run.
+
+Component ``params`` are passed verbatim to the component constructor;
+keeping them JSON-able keeps the spec serializable (callables such as a
+PSN ``key_function`` are injected at ``fit`` time instead, from the
+dataset's metadata).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Mapping
+
+from repro.registry import (
+    blocking_schemes,
+    matchers,
+    progressive_methods,
+    weighting_schemes,
+)
+
+
+def _check_ratio(name: str, value: float | None) -> None:
+    if value is not None and not 0.0 < value <= 1.0:
+        raise ValueError(f"{name} must be in (0, 1] or None, got {value!r}")
+
+
+def _reject_unknown_keys(
+    stage: str, data: Mapping[str, Any], allowed: tuple[str, ...]
+) -> None:
+    unknown = sorted(set(data) - set(allowed))
+    if unknown:
+        raise ValueError(
+            f"unknown {stage} config keys {unknown}; allowed: {sorted(allowed)}"
+        )
+
+
+@dataclass
+class BlockingConfig:
+    """Stage 1: block building plus the paper's purge/filter steps."""
+
+    scheme: str = "token"
+    purge_ratio: float | None = 0.1
+    filter_ratio: float | None = 0.8
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.scheme = blocking_schemes.canonical(self.scheme)
+        _check_ratio("purge_ratio", self.purge_ratio)
+        _check_ratio("filter_ratio", self.filter_ratio)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BlockingConfig":
+        _reject_unknown_keys(
+            "blocking", data, ("scheme", "purge_ratio", "filter_ratio", "params")
+        )
+        return cls(**dict(data))
+
+
+@dataclass
+class MetaBlockingConfig:
+    """Stage 2: Blocking Graph edge weighting (used by the equality-based
+    methods; similarity-based methods configure their neighbor weighting
+    through :class:`MethodConfig` params instead)."""
+
+    weighting: str = "ARCS"
+
+    def __post_init__(self) -> None:
+        self.weighting = weighting_schemes.canonical(self.weighting)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MetaBlockingConfig":
+        _reject_unknown_keys("meta-blocking", data, ("weighting",))
+        return cls(**dict(data))
+
+
+@dataclass
+class MethodConfig:
+    """Stage 3: the progressive emission method and its parameters."""
+
+    name: str = "PPS"
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.name = progressive_methods.canonical(self.name)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MethodConfig":
+        _reject_unknown_keys("method", data, ("name", "params"))
+        return cls(**dict(data))
+
+
+@dataclass
+class MatcherConfig:
+    """Stage 4 (optional): the match function applied to emitted pairs."""
+
+    name: str = "jaccard"
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.name = matchers.canonical(self.name)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MatcherConfig":
+        _reject_unknown_keys("matcher", data, ("name", "params"))
+        return cls(**dict(data))
+
+
+@dataclass
+class BudgetConfig:
+    """Emission budgets; any combination, first one hit stops the stream.
+
+    ``comparisons`` caps total emissions exactly; ``seconds`` is a
+    wall-clock deadline measured from the first emission; ``target_recall``
+    stops once that recall is reached (requires a ground-truth/oracle hook
+    at ``fit`` time).
+    """
+
+    comparisons: int | None = None
+    seconds: float | None = None
+    target_recall: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.comparisons is not None and self.comparisons < 0:
+            raise ValueError(
+                f"comparisons budget must be >= 0, got {self.comparisons!r}"
+            )
+        if self.seconds is not None and self.seconds <= 0:
+            raise ValueError(f"seconds budget must be > 0, got {self.seconds!r}")
+        if self.target_recall is not None and not 0.0 < self.target_recall <= 1.0:
+            raise ValueError(
+                f"target_recall must be in (0, 1], got {self.target_recall!r}"
+            )
+
+    def unlimited(self) -> bool:
+        """True when no budget is set (stream runs to exhaustion)."""
+        return (
+            self.comparisons is None
+            and self.seconds is None
+            and self.target_recall is None
+        )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BudgetConfig":
+        _reject_unknown_keys(
+            "budget", data, ("comparisons", "seconds", "target_recall")
+        )
+        return cls(**dict(data))
+
+
+@dataclass
+class PipelineConfig:
+    """The full pipeline spec: one dataclass per stage, dict round-trip."""
+
+    blocking: BlockingConfig = field(default_factory=BlockingConfig)
+    meta: MetaBlockingConfig = field(default_factory=MetaBlockingConfig)
+    method: MethodConfig = field(default_factory=MethodConfig)
+    matcher: MatcherConfig | None = None
+    budget: BudgetConfig = field(default_factory=BudgetConfig)
+
+    def to_dict(self) -> dict[str, Any]:
+        """A plain nested dict reproducing this config via ``from_dict``."""
+        return {
+            "blocking": asdict(self.blocking),
+            "meta": asdict(self.meta),
+            "method": asdict(self.method),
+            "matcher": None if self.matcher is None else asdict(self.matcher),
+            "budget": asdict(self.budget),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PipelineConfig":
+        _reject_unknown_keys(
+            "pipeline", data, ("blocking", "meta", "method", "matcher", "budget")
+        )
+        matcher = data.get("matcher")
+        return cls(
+            blocking=BlockingConfig.from_dict(data.get("blocking", {})),
+            meta=MetaBlockingConfig.from_dict(data.get("meta", {})),
+            method=MethodConfig.from_dict(data.get("method", {})),
+            matcher=None if matcher is None else MatcherConfig.from_dict(matcher),
+            budget=BudgetConfig.from_dict(data.get("budget", {})),
+        )

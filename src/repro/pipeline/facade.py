@@ -1,0 +1,115 @@
+"""The quickstart path: ``resolve()`` in one call.
+
+Wraps :class:`~repro.pipeline.ERPipeline` for the common case - pick a
+method, optionally cap the work, get the ranked pairs and (when a ground
+truth is available) the recall curve::
+
+    from repro import resolve
+
+    result = resolve("cora", method="PPS", budget=5_000)
+    print(result.recall, result.curve.normalized_auc_at(1.0))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.comparisons import Comparison
+from repro.core.ground_truth import GroundTruth
+from repro.evaluation.progressive_recall import RecallCurve
+from repro.pipeline.builder import ERPipeline
+from repro.pipeline.resolver import Resolver
+
+
+@dataclass
+class ResolutionResult:
+    """What one :func:`resolve` call produced."""
+
+    pairs: list[Comparison] = field(default_factory=list)
+    matches: set[tuple[int, int]] = field(default_factory=set)
+    emitted: int = 0
+    recall: float | None = None
+    curve: RecallCurve | None = None
+    resolver: Resolver | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        recall = "n/a" if self.recall is None else f"{self.recall:.3f}"
+        return (
+            f"ResolutionResult(emitted={self.emitted}, "
+            f"matches={len(self.matches)}, recall={recall})"
+        )
+
+
+def resolve(
+    data: Any,
+    method: str = "PPS",
+    *,
+    budget: int | None = None,
+    seconds: float | None = None,
+    target_recall: float | None = None,
+    matcher: str | None = None,
+    matcher_params: dict[str, Any] | None = None,
+    blocking: str = "token",
+    purge: bool | float | None = True,
+    filter_ratio: bool | float | None = 0.8,
+    weighting: str = "ARCS",
+    ground_truth: GroundTruth | None = None,
+    **method_params: Any,
+) -> ResolutionResult:
+    """Run progressive ER end to end with one call.
+
+    Parameters
+    ----------
+    data:
+        Anything :meth:`ERPipeline.fit` accepts: a ProfileStore, a
+        Dataset, a bundled dataset name, or parsed records.
+    method:
+        Progressive method acronym, any spelling ("PPS", "sa-psn", ...).
+    budget, seconds, target_recall:
+        Optional stopping rules (comparison count / wall clock / recall).
+    matcher:
+        Optional match function name; without one, match bookkeeping
+        falls back to the ground truth when available.
+    blocking, purge, filter_ratio, weighting:
+        Substrate knobs for the equality-based methods.
+    method_params:
+        Forwarded to the method constructor (e.g. ``k_max=20``).
+
+    Returns
+    -------
+    ResolutionResult
+        Emitted pairs in order, confirmed matches, recall and curve
+        (when a ground truth is known), plus the live resolver for
+        continued streaming or :meth:`Resolver.evaluate`.
+    """
+    pipeline = (
+        ERPipeline()
+        .blocking(blocking, purge=purge, filter_ratio=filter_ratio)
+        .meta(weighting)
+        .method(method, **method_params)
+        .budget(
+            comparisons=budget, seconds=seconds, target_recall=target_recall
+        )
+    )
+    if matcher is not None:
+        pipeline.matcher(matcher, **(matcher_params or {}))
+    elif matcher_params:
+        raise ValueError(
+            "matcher_params given without a matcher; pass e.g. matcher='jaccard'"
+        )
+    resolver = pipeline.fit(data, ground_truth=ground_truth)
+
+    pairs = list(resolver.stream())
+    progress = resolver.progress()
+    curve = (
+        resolver.partial_curve() if resolver.ground_truth is not None else None
+    )
+    return ResolutionResult(
+        pairs=pairs,
+        matches=resolver.matches,
+        emitted=progress.emitted,
+        recall=progress.recall,
+        curve=curve,
+        resolver=resolver,
+    )

@@ -1,0 +1,367 @@
+"""The :class:`Resolver`: a live progressive-resolution session.
+
+``ERPipeline.fit(data)`` returns a Resolver that owns the configured
+stages end to end: it builds the blocks, instantiates the progressive
+method and the match function, and exposes the emission stream with
+budget control.
+
+Streaming is *pausable by construction*: ``stream()`` and
+``next_batch(n)`` pull from one shared emitter, so a consumer can
+interleave batches, stop at any point, and resume later; ``reset()``
+restarts emission from the top (rebuilding the method, so it costs about
+one initialization).  Budgets (comparison count, wall-clock, target
+recall) are enforced across all consumers of the session, not per call.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterator
+
+from repro.blocking.base import BlockCollection
+from repro.blocking.workflow import blocking_workflow
+from repro.core.comparisons import Comparison
+from repro.core.ground_truth import GroundTruth
+from repro.core.profiles import ProfileStore
+from repro.evaluation.progressive_recall import RecallCurve, run_progressive
+from repro.matching.match_functions import MatchFunction
+from repro.progressive.base import ProgressiveMethod
+from repro.registry import matchers, normalize, progressive_methods
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.pipeline.config import PipelineConfig
+
+# An oracle hook: pair -> is-match decision, used for recall bookkeeping
+# and target-recall early stopping.
+OracleHook = Callable[[int, int], bool]
+
+
+@dataclass
+class ResolverProgress:
+    """Snapshot of a session's emission state."""
+
+    emitted: int
+    matches_confirmed: int
+    true_matches_found: int
+    total_matches: int | None
+    exhausted: bool
+    elapsed_seconds: float | None
+
+    @property
+    def recall(self) -> float | None:
+        """Ground-truth recall so far (None without a ground truth)."""
+        if not self.total_matches:
+            return None
+        return self.true_matches_found / self.total_matches
+
+
+class Resolver:
+    """A progressive ER session over one profile store.
+
+    Built by :meth:`repro.pipeline.ERPipeline.fit`; not usually
+    constructed directly.
+
+    Parameters
+    ----------
+    config:
+        The frozen pipeline spec driving every stage.
+    store:
+        The profiles to resolve.
+    ground_truth:
+        Optional oracle for recall bookkeeping, target-recall stopping
+        and :meth:`evaluate`.
+    dataset_name:
+        Provenance recorded on produced :class:`RecallCurve` objects.
+    psn_key:
+        Schema-based blocking key, injected into methods that require a
+        ``key_function`` (the PSN baseline) when the user did not supply
+        one - this is how ``fit(dataset)`` makes PSN work out of the box.
+    """
+
+    def __init__(
+        self,
+        config: "PipelineConfig",
+        store: ProfileStore,
+        ground_truth: GroundTruth | None = None,
+        dataset_name: str = "",
+        psn_key: Callable | None = None,
+    ) -> None:
+        if (
+            config.budget.target_recall is not None
+            and ground_truth is None
+        ):
+            raise ValueError(
+                "target_recall budget requires a ground truth (oracle) at fit time"
+            )
+        self.config = config
+        self.store = store
+        self.ground_truth = ground_truth
+        self.dataset_name = dataset_name
+        self._psn_key = psn_key
+        self._blocks: BlockCollection | None = None
+        self.method: ProgressiveMethod | None = None
+        self.matcher: MatchFunction | None = None
+        self._emitter: Iterator[Comparison] | None = None
+        self._emitted = 0
+        self._exhausted = False
+        self._started_at: float | None = None
+        self._matched_pairs: set[tuple[int, int]] = set()
+        self._true_found: set[tuple[int, int]] = set()
+        self._hit_positions: list[int] = []
+
+    # -- construction of the staged components -------------------------------
+
+    def _method_wants_blocks(self) -> bool:
+        return progressive_methods.accepts(self.config.method.name, "blocks")
+
+    @property
+    def blocks(self) -> BlockCollection | None:
+        """The blocking-stage output (None for methods that do not consume
+        redundancy-positive blocks).
+
+        Built on first access.  On the default token workflow the method
+        builds its own (identical, deterministic) collection during
+        initialization, so reading this property performs one extra
+        blocking pass - introspection convenience, not the hot path."""
+        if self._blocks is None and self._method_wants_blocks():
+            blocking = self.config.blocking
+            self._blocks = blocking_workflow(
+                self.store,
+                scheme=blocking.scheme,
+                purge_ratio=blocking.purge_ratio,
+                filter_ratio=blocking.filter_ratio,
+                **blocking.params,
+            )
+        return self._blocks
+
+    def build_method(self) -> ProgressiveMethod:
+        """A fresh, uninitialized method instance wired from the spec.
+
+        The blocking and weighting stages only apply to the
+        blocking-graph (equality-based) methods; Neighbor-List methods
+        build their own substrate and take their knobs via method params.
+        When the blocking spec is the method's own token workflow, its
+        knobs are passed through instead of pre-building, so block
+        construction stays inside the method's (timed) initialization
+        phase, exactly as in the paper's protocol.
+        """
+        name = self.config.method.name
+        kwargs = dict(self.config.method.params)
+        if self._method_wants_blocks():
+            blocking = self.config.blocking
+            if "blocks" not in kwargs:
+                if (
+                    normalize(blocking.scheme) == "TOKEN"
+                    and not blocking.params
+                    and progressive_methods.accepts(name, "purge_ratio")
+                    and progressive_methods.accepts(name, "filter_ratio")
+                ):
+                    kwargs.setdefault("purge_ratio", blocking.purge_ratio)
+                    kwargs.setdefault("filter_ratio", blocking.filter_ratio)
+                else:
+                    kwargs["blocks"] = self.blocks
+            # applies regardless of where the blocks came from, so a
+            # bring-your-own-blocks call still honors the .meta() stage
+            if progressive_methods.accepts(name, "weighting"):
+                kwargs.setdefault("weighting", self.config.meta.weighting)
+        if (
+            self._psn_key is not None
+            and progressive_methods.accepts(name, "key_function")
+        ):
+            kwargs.setdefault("key_function", self._psn_key)
+        return progressive_methods.build(name, self.store, **kwargs)
+    def _build_matcher(self) -> MatchFunction | None:
+        spec = self.config.matcher
+        if spec is None:
+            return None
+        kwargs = dict(spec.params)
+        if normalize(spec.name) == "ORACLE" and self.ground_truth is not None:
+            kwargs.setdefault("ground_truth", self.ground_truth)
+        return matchers.build(spec.name, **kwargs)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def initialized(self) -> bool:
+        return self.method is not None and self.method._initialized
+
+    def initialize(self) -> "Resolver":
+        """Build blocks, method and matcher; run the method's
+        initialization phase (idempotent)."""
+        if self.method is None:
+            self.method = self.build_method()
+            self.matcher = self._build_matcher()
+        self.method.initialize()
+        if self._emitter is None:
+            self._emitter = iter(self.method)
+        return self
+
+    def reset(self) -> "Resolver":
+        """Restart emission and all budget/recall bookkeeping.
+
+        Several methods consume their internal structures while emitting
+        (e.g. PPS drains its Comparison List), so an already-initialized
+        session rebuilds and re-initializes the method here - block
+        building and weighting run again, making reset comparable in
+        cost to the original initialization.
+        """
+        if self.method is not None:
+            self.method = self.build_method()
+            self.method.initialize()
+            self._emitter = iter(self.method)
+        self._emitted = 0
+        self._exhausted = False
+        self._started_at = None
+        self._matched_pairs.clear()
+        self._true_found.clear()
+        self._hit_positions.clear()
+        return self
+
+    # -- budget control --------------------------------------------------------
+
+    def _recall(self) -> float | None:
+        if self.ground_truth is None or len(self.ground_truth) == 0:
+            return None
+        return len(self._true_found) / len(self.ground_truth)
+
+    def _budget_reached(self) -> bool:
+        budget = self.config.budget
+        if budget.comparisons is not None and self._emitted >= budget.comparisons:
+            return True
+        if (
+            budget.seconds is not None
+            and self._started_at is not None
+            and time.perf_counter() - self._started_at >= budget.seconds
+        ):
+            return True
+        if budget.target_recall is not None:
+            recall = self._recall()
+            if recall is not None and recall >= budget.target_recall:
+                return True
+        return False
+
+    # -- emission ------------------------------------------------------------
+
+    def _record(self, comparison: Comparison) -> None:
+        pair = comparison.pair
+        if self.matcher is not None:
+            a, b = self.store[comparison.i], self.store[comparison.j]
+            if self.matcher(a, b):
+                self._matched_pairs.add(pair)
+        if self.ground_truth is not None and pair not in self._true_found:
+            if self.ground_truth.is_match(*pair):
+                self._true_found.add(pair)
+                self._hit_positions.append(self._emitted)
+                if self.matcher is None:
+                    self._matched_pairs.add(pair)
+
+    def stream(self) -> Iterator[Comparison]:
+        """Yield comparisons best-first until a budget stops the session.
+
+        All ``stream()`` generators and ``next_batch`` calls share one
+        underlying emitter and one budget, so consumption can pause and
+        resume freely across call sites.
+        """
+        self.initialize()
+        assert self._emitter is not None
+        if self._started_at is None:
+            self._started_at = time.perf_counter()
+        while not self._budget_reached():
+            comparison = next(self._emitter, None)
+            if comparison is None:
+                self._exhausted = True
+                return
+            self._emitted += 1
+            self._record(comparison)
+            yield comparison
+
+    def __iter__(self) -> Iterator[Comparison]:
+        return self.stream()
+
+    def next_batch(self, n: int) -> list[Comparison]:
+        """The next ``n`` comparisons (fewer at budget/stream end)."""
+        if n < 0:
+            raise ValueError(f"batch size must be >= 0, got {n!r}")
+        batch: list[Comparison] = []
+        if n == 0:
+            return batch
+        for comparison in self.stream():
+            batch.append(comparison)
+            if len(batch) >= n:
+                break
+        return batch
+
+    # -- results ------------------------------------------------------------
+
+    @property
+    def matches(self) -> set[tuple[int, int]]:
+        """Distinct pairs confirmed so far (by the matcher, else oracle)."""
+        return set(self._matched_pairs)
+
+    def progress(self) -> ResolverProgress:
+        """Current emission/recall snapshot."""
+        return ResolverProgress(
+            emitted=self._emitted,
+            matches_confirmed=len(self._matched_pairs),
+            true_matches_found=len(self._true_found),
+            total_matches=(
+                None if self.ground_truth is None else len(self.ground_truth)
+            ),
+            exhausted=self._exhausted,
+            elapsed_seconds=(
+                None
+                if self._started_at is None
+                else time.perf_counter() - self._started_at
+            ),
+        )
+
+    def partial_curve(self) -> RecallCurve:
+        """Recall curve of the comparisons streamed so far.
+
+        Requires a ground truth; positions refer to this session's
+        emission counter.
+        """
+        if self.ground_truth is None:
+            raise ValueError("partial_curve requires a ground truth")
+        return RecallCurve(
+            method=self.config.method.name,
+            total_matches=len(self.ground_truth),
+            hit_positions=list(self._hit_positions),
+            emitted=self._emitted,
+            exhausted=self._exhausted,
+            dataset=self.dataset_name,
+        )
+
+    def evaluate(
+        self,
+        ground_truth: GroundTruth | None = None,
+        max_ec_star: float = 30.0,
+        stop_at_full_recall: bool = True,
+    ) -> RecallCurve:
+        """The paper's progressiveness protocol on a fresh emission run.
+
+        A new method instance is built from the same config (emission in
+        several methods consumes internal structures, so reusing the
+        session's stream would bias the curve), then driven by
+        :func:`run_progressive` with ground-truth decisions - byte-for-byte
+        the legacy ``build_method`` + ``run_progressive`` path.
+        """
+        truth = ground_truth if ground_truth is not None else self.ground_truth
+        if truth is None:
+            raise ValueError("evaluate requires a ground truth")
+        method = self.build_method()
+        return run_progressive(
+            method,
+            truth,
+            max_ec_star=max_ec_star,
+            stop_at_full_recall=stop_at_full_recall,
+            dataset=self.dataset_name,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "initialized" if self.initialized else "fresh"
+        return (
+            f"Resolver({self.config.method.name}, {state}, "
+            f"|P|={len(self.store)}, emitted={self._emitted})"
+        )

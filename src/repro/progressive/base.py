@@ -20,6 +20,7 @@ from typing import Callable, Iterator
 
 from repro.core.comparisons import Comparison
 from repro.core.profiles import ProfileStore
+from repro.registry import normalize, progressive_methods
 
 
 class ProgressiveMethod(ABC):
@@ -82,36 +83,47 @@ class ProgressiveMethod(ABC):
 
 MethodFactory = Callable[..., ProgressiveMethod]
 
-_REGISTRY: dict[str, MethodFactory] = {}
-
 
 def register_method(name: str) -> Callable[[type], type]:
-    """Class decorator registering a method under its paper acronym."""
+    """Class decorator registering a method in the shared registry.
+
+    The canonical spelling is the class's ``name`` attribute (the paper
+    acronym, hyphens included); the decorator argument is kept as an
+    alias, so both ``"SA-PSN"`` and ``"SAPSN"`` resolve.
+    """
 
     def decorator(cls: type) -> type:
-        _REGISTRY[name.upper()] = cls
+        # Only the class's *own* `name` may define the canonical spelling;
+        # an inherited one (subclass of a stock method without a new
+        # `name`) must not hijack the parent's registry entry.
+        canonical = cls.__dict__.get("name") or name
+        aliases = (name,) if normalize(name) != normalize(canonical) else ()
+        progressive_methods.register(canonical, cls, aliases=aliases)
         return cls
 
     return decorator
 
 
 def available_methods() -> list[str]:
-    """Acronyms of all registered progressive methods."""
-    return sorted(_REGISTRY)
+    """Canonical (paper-spelling) acronyms of all registered methods."""
+    return progressive_methods.names()
 
 
 def build_method(name: str, store: ProfileStore, **kwargs) -> ProgressiveMethod:
     """Instantiate a progressive method by its paper acronym.
+
+    Name matching is schema-agnostic about spelling: ``"SA-PSN"``,
+    ``"sapsn"`` and ``"sa_psn"`` all resolve to the same method.
+
+    .. deprecated::
+        Prefer :class:`repro.pipeline.ERPipeline` / :func:`repro.resolve`,
+        which add blocking/weighting configuration, budgets and
+        evaluation around the same registry.  This shim is kept working
+        indefinitely and produces identical methods.
 
     Examples
     --------
     >>> from repro.progressive import build_method
     >>> method = build_method("PPS", store, weighting="ARCS")  # doctest: +SKIP
     """
-    try:
-        factory = _REGISTRY[name.upper().replace("-", "")]
-    except KeyError:
-        raise ValueError(
-            f"unknown progressive method {name!r}; available: {available_methods()}"
-        ) from None
-    return factory(store, **kwargs)
+    return progressive_methods.build(name, store, **kwargs)

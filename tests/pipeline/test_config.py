@@ -1,0 +1,97 @@
+"""Config dataclass validation and dict round-tripping."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.pipeline.config import (
+    BlockingConfig,
+    BudgetConfig,
+    MatcherConfig,
+    MetaBlockingConfig,
+    MethodConfig,
+    PipelineConfig,
+)
+
+
+class TestValidation:
+    def test_unknown_blocking_scheme(self):
+        with pytest.raises(ValueError, match="unknown blocking scheme"):
+            BlockingConfig(scheme="nope")
+
+    def test_bad_ratios(self):
+        with pytest.raises(ValueError, match="purge_ratio"):
+            BlockingConfig(purge_ratio=1.5)
+        with pytest.raises(ValueError, match="filter_ratio"):
+            BlockingConfig(filter_ratio=0.0)
+
+    def test_none_disables_steps(self):
+        config = BlockingConfig(purge_ratio=None, filter_ratio=None)
+        assert config.purge_ratio is None and config.filter_ratio is None
+
+    def test_unknown_weighting(self):
+        with pytest.raises(ValueError, match="unknown weighting scheme"):
+            MetaBlockingConfig(weighting="nope")
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError, match="unknown progressive method"):
+            MethodConfig(name="nope")
+
+    def test_unknown_matcher(self):
+        with pytest.raises(ValueError, match="unknown match function"):
+            MatcherConfig(name="nope")
+
+    def test_names_canonicalized(self):
+        assert MethodConfig(name="sapsn").name == "SA-PSN"
+        assert MetaBlockingConfig(weighting="arcs").weighting == "ARCS"
+        assert MatcherConfig(name="JS").name == "jaccard"
+
+    def test_budget_bounds(self):
+        with pytest.raises(ValueError, match="comparisons"):
+            BudgetConfig(comparisons=-1)
+        with pytest.raises(ValueError, match="seconds"):
+            BudgetConfig(seconds=0)
+        with pytest.raises(ValueError, match="target_recall"):
+            BudgetConfig(target_recall=1.5)
+        assert BudgetConfig().unlimited()
+        assert not BudgetConfig(comparisons=10).unlimited()
+
+
+class TestRoundTrip:
+    def spec(self) -> PipelineConfig:
+        return PipelineConfig(
+            blocking=BlockingConfig(
+                scheme="suffix", purge_ratio=0.5, params={"min_length": 4}
+            ),
+            meta=MetaBlockingConfig(weighting="CBS"),
+            method=MethodConfig(name="PBS", params={"filter_ratio": 0.7}),
+            matcher=MatcherConfig(name="jaccard", params={"threshold": 0.6}),
+            budget=BudgetConfig(comparisons=100, target_recall=0.9),
+        )
+
+    def test_to_dict_is_json_able(self):
+        json.dumps(self.spec().to_dict())
+
+    def test_round_trip_identity(self):
+        spec = self.spec()
+        rebuilt = PipelineConfig.from_dict(spec.to_dict())
+        assert rebuilt == spec
+        assert rebuilt.to_dict() == spec.to_dict()
+
+    def test_none_matcher_round_trips(self):
+        spec = PipelineConfig()
+        assert spec.to_dict()["matcher"] is None
+        assert PipelineConfig.from_dict(spec.to_dict()) == spec
+
+    def test_partial_dict_uses_defaults(self):
+        spec = PipelineConfig.from_dict({"method": {"name": "SA-PSN"}})
+        assert spec.method.name == "SA-PSN"
+        assert spec.blocking == BlockingConfig()
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown pipeline config keys"):
+            PipelineConfig.from_dict({"blocks": {}})
+        with pytest.raises(ValueError, match="unknown budget config keys"):
+            PipelineConfig.from_dict({"budget": {"max": 3}})

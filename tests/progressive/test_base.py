@@ -62,13 +62,32 @@ class TestProtocol:
 
 class TestRegistry:
     def test_all_paper_methods_registered(self):
-        expected = {"PSN", "SAPSN", "SAPSAB", "LSPSN", "GSPSN", "PBS", "PPS"}
+        expected = {"PSN", "SA-PSN", "SA-PSAB", "LS-PSN", "GS-PSN", "PBS", "PPS"}
         assert expected <= set(available_methods())
 
     def test_build_by_acronym_with_dash(self, store):
         method = build_method("sa-psn", store)
         assert method.name == "SA-PSN"
 
+    def test_build_accepts_any_spelling(self, store):
+        for spelling in ("SAPSN", "sa_psn", "Sa-Psn"):
+            assert build_method(spelling, store).name == "SA-PSN"
+
     def test_unknown_method(self, store):
         with pytest.raises(ValueError, match="unknown progressive method"):
             build_method("XYZ", store)
+
+    def test_subclass_without_name_cannot_hijack_parent(self, store):
+        from repro.progressive import PPS
+        from repro.progressive.base import register_method
+        from repro.registry import progressive_methods
+
+        @register_method("MyPPS")
+        class MyPPS(PPS):  # inherits name = "PPS"; must register as MyPPS
+            pass
+
+        try:
+            assert type(build_method("PPS", store)) is PPS
+            assert type(build_method("MyPPS", store)) is MyPPS
+        finally:
+            progressive_methods.unregister("MyPPS")
