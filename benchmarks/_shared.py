@@ -88,3 +88,104 @@ def curve(dataset_name: str, method_name: str, max_ec_star: float) -> RecallCurv
 def emit(text: str) -> None:
     """Print a bench report block (visible with ``pytest -s``)."""
     print(f"\n{text}\n", flush=True)
+
+
+# -- engine benchmark artifacts ------------------------------------------------
+#
+# The perf trajectory of the array engine is tracked across PRs through
+# BENCH_engine.json (gitignored; regenerate with
+# ``python benchmarks/bench_engine.py``).
+
+BENCH_ENGINE_PATH = "BENCH_engine.json"
+
+
+def write_bench_json(payload: dict, path: str = BENCH_ENGINE_PATH) -> str:
+    """Write one benchmark artifact as indented JSON; returns the path."""
+    import json
+
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def timed_engine_run(
+    method_name: str,
+    data: Dataset,
+    backend: str,
+    checkpoints: int = 20,
+    **method_params,
+):
+    """One (method, backend) engine measurement.
+
+    Initializes the method, drains its full emission stream with a
+    C-speed consumer (so the measurement is the stream's production
+    cost, not the driver's), and computes the PC (recall) / PQ
+    (precision) curves at ``checkpoints`` evenly spaced positions from
+    the ground truth.
+
+    Returns a dict ready for BENCH_engine.json.
+    """
+    import time
+    from collections import deque
+
+    from repro.pipeline import ERPipeline
+
+    pipeline = ERPipeline().method(method_name, **method_params).backend(backend)
+    method = pipeline.fit(data).build_method()
+
+    started = time.perf_counter()
+    method.initialize()
+    initialized = time.perf_counter()
+    deque(iter(method), maxlen=0)
+    drained = time.perf_counter()
+
+    # Curves (and an order-sensitive stream digest, so backend runs can
+    # be checked pair-for-pair) from a second, untimed emission of a
+    # fresh method: several methods consume their structures while
+    # emitting.
+    import hashlib
+
+    truth = data.ground_truth
+    fresh = pipeline.fit(data).build_method()
+    emitted = 0
+    hits = 0
+    hit_positions: list[int] = []
+    seen: set[tuple[int, int]] = set()
+    digest = hashlib.blake2b(digest_size=16)
+    update_digest = digest.update
+    for comparison in iter(fresh):
+        emitted += 1
+        pair = comparison.pair
+        update_digest(b"%d,%d;" % pair)
+        if pair not in seen and truth.is_match(*pair):
+            seen.add(pair)
+            hits += 1
+            hit_positions.append(emitted)
+    total_matches = len(truth)
+    step = max(1, emitted // checkpoints)
+    pc_curve = []
+    pq_curve = []
+    for position in range(step, emitted + 1, step):
+        found = sum(1 for hit in hit_positions if hit <= position)
+        pc_curve.append(
+            {"comparisons": position, "pc": found / total_matches if total_matches else 0.0}
+        )
+        pq_curve.append(
+            {"comparisons": position, "pq": found / position}
+        )
+
+    return {
+        "method": method_name,
+        "backend": backend,
+        "dataset": data.name,
+        "profiles": len(data.store),
+        "emitted": emitted,
+        "stream_digest": digest.hexdigest(),
+        "init_seconds": initialized - started,
+        "emission_seconds": drained - initialized,
+        "total_seconds": drained - started,
+        "recall": (hits / total_matches) if total_matches else 0.0,
+        "pc_curve": pc_curve,
+        "pq_curve": pq_curve,
+    }

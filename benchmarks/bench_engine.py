@@ -1,0 +1,115 @@
+"""Engine benchmark: python vs numpy backends, wall-clock + PC/PQ curves.
+
+Runs every backend-aware method (PPS, PBS, LS-PSN, GS-PSN) on both
+backends over the structured datasets, checks the emission streams agree
+pair-for-pair, and writes ``BENCH_engine.json`` so the perf trajectory
+of the array engine is tracked across PRs.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py            # full run
+    PYTHONPATH=src python benchmarks/bench_engine.py --smoke    # ~10s CI smoke
+
+Speedups are reported for the initialization phase, the emission phase
+(producing the full progressive comparison stream - the engine's core
+claim) and end to end.  Initialization includes the shared pure-Python
+blocking/tokenization substrate, identical work for both backends, which
+is why emission speedups exceed total speedups.
+"""
+
+from __future__ import annotations
+
+import sys
+
+try:  # package import (pytest) vs direct script execution
+    from benchmarks._shared import dataset, emit, timed_engine_run, write_bench_json
+except ImportError:  # pragma: no cover - script mode
+    from _shared import dataset, emit, timed_engine_run, write_bench_json
+
+from repro.evaluation.report import format_table
+
+# (method, params): the four backend-aware methods with their paper-ish
+# settings; LS-PSN capped at the GS-PSN window bound so the full drain
+# stays laptop-sized.
+ENGINE_METHODS = (
+    ("PPS", {}),
+    ("PBS", {}),
+    ("LS-PSN", {"max_window": 20}),
+    ("GS-PSN", {"max_window": 20}),
+)
+
+FULL_DATASETS = ("census", "restaurant", "cora", "cddb")
+SMOKE_DATASETS = ("census",)
+SMOKE_METHODS = (("PPS", {}), ("LS-PSN", {"max_window": 5}))
+
+
+def run(smoke: bool = False) -> dict:
+    datasets = SMOKE_DATASETS if smoke else FULL_DATASETS
+    methods = SMOKE_METHODS if smoke else ENGINE_METHODS
+    runs = []
+    rows = []
+    for dataset_name in datasets:
+        data = dataset(dataset_name)
+        for method_name, params in methods:
+            by_backend = {}
+            for backend in ("python", "numpy"):
+                result = timed_engine_run(
+                    method_name, data, backend, **params
+                )
+                by_backend[backend] = result
+                runs.append(result)
+            python, numpy_ = by_backend["python"], by_backend["numpy"]
+            assert (
+                python["emitted"] == numpy_["emitted"]
+                and python["stream_digest"] == numpy_["stream_digest"]
+            ), f"backend streams diverge for {method_name} on {dataset_name}"
+            rows.append(
+                [
+                    dataset_name,
+                    method_name,
+                    python["emitted"],
+                    f"{python['total_seconds']:.2f}s",
+                    f"{numpy_['total_seconds']:.2f}s",
+                    f"{python['init_seconds'] / max(numpy_['init_seconds'], 1e-9):.1f}x",
+                    f"{python['emission_seconds'] / max(numpy_['emission_seconds'], 1e-9):.1f}x",
+                    f"{python['total_seconds'] / max(numpy_['total_seconds'], 1e-9):.1f}x",
+                ]
+            )
+
+    speedups = {}
+    for row in rows:
+        speedups[f"{row[0]}/{row[1]}"] = {
+            "init": row[5],
+            "emission": row[6],
+            "total": row[7],
+        }
+    payload = {
+        "schema": "bench-engine/1",
+        "smoke": smoke,
+        "speedups": speedups,
+        "runs": runs,
+    }
+    emit(
+        format_table(
+            [
+                "dataset", "method", "emitted",
+                "python", "numpy",
+                "init speedup", "emission speedup", "total speedup",
+            ],
+            rows,
+            title="Engine benchmark: python vs numpy backend",
+        )
+    )
+    return payload
+
+
+def main(argv: list[str]) -> int:
+    smoke = "--smoke" in argv
+    payload = run(smoke=smoke)
+    path = write_bench_json(payload)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

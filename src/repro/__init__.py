@@ -36,6 +36,16 @@ addressed by name through a shared registry that accepts any spelling
 ("SA-PSN" == "sapsn"); register your own via ``repro.registry``.  The
 legacy entrypoints (``build_method`` + ``run_progressive``) keep working
 and produce identical results.
+
+Speed - the array engine (optional ``repro[speed]`` extra)::
+
+    result = resolve("cddb", method="PPS", backend="numpy")
+    # or: ERPipeline().method("PPS").backend("numpy").fit(...)
+
+``backend="numpy"`` runs PPS, PBS, LS-PSN and GS-PSN on numpy CSR
+indexes with vectorized weighting (:mod:`repro.engine`), emitting the
+*identical* comparison stream measured multiples faster; the default
+``backend="python"`` remains the dependency-free reference.
 """
 
 from repro.blocking import (
@@ -107,7 +117,7 @@ from repro.progressive import (
 )
 from repro.registry import ComponentRegistry, get_registry
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # pipeline API

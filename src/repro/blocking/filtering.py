@@ -47,24 +47,33 @@ class BlockFiltering:
                 collection.blocks[idx].key,
             ),
         )
-        rank_of_block = {block_index: rank for rank, block_index in enumerate(order)}
+        rank_of_block = [0] * len(collection.blocks)
+        for rank, block_index in enumerate(order):
+            rank_of_block[block_index] = rank
 
         # Collect each profile's blocks, best (smallest) first.
         blocks_of_profile: dict[int, list[int]] = {}
+        setdefault = blocks_of_profile.setdefault
         for block_index, block in enumerate(collection.blocks):
             for profile_id in block.ids:
-                blocks_of_profile.setdefault(profile_id, []).append(block_index)
+                setdefault(profile_id, []).append(block_index)
 
-        retained: dict[int, set[int]] = {}
+        ratio = self.ratio
+        retained: dict[int, frozenset[int]] = {}
         for profile_id, block_indexes in blocks_of_profile.items():
-            block_indexes.sort(key=lambda idx: rank_of_block[idx])
-            keep = math.ceil(self.ratio * len(block_indexes))
-            retained[profile_id] = set(block_indexes[:keep])
+            block_indexes.sort(key=rank_of_block.__getitem__)
+            keep = math.ceil(ratio * len(block_indexes))
+            retained[profile_id] = frozenset(block_indexes[:keep])
 
         cross_source = er_type is ERType.CLEAN_CLEAN
+        empty: frozenset[int] = frozenset()
         new_blocks: list[Block] = []
         for block_index, block in enumerate(collection.blocks):
-            ids = [pid for pid in block.ids if block_index in retained.get(pid, ())]
+            ids = [
+                pid
+                for pid in block.ids
+                if block_index in retained.get(pid, empty)
+            ]
             if len(ids) < 2:
                 continue
             new_block = Block(block.key, ids, store)

@@ -48,17 +48,27 @@ class Tokenizer:
 
     def tokens(self, value: str) -> list[str]:
         """Tokens of a single attribute value, in order of appearance."""
-        raw = _TOKEN_PATTERN.findall(value)
-        out: list[str] = []
-        for token in raw:
+        if self.lowercase and value.isascii():
+            # Lowercasing an ASCII value first yields the same tokens
+            # (ASCII lower() never moves characters in or out of the
+            # pattern's classes) with one str.lower instead of one per
+            # token - the hot path of every blocking build.  Non-ASCII
+            # values (e.g. Kelvin sign, dotted I) keep the per-token
+            # path, whose semantics are the reference.
+            raw = _TOKEN_PATTERN.findall(value.lower())
+        else:
+            raw = _TOKEN_PATTERN.findall(value)
             if self.lowercase:
-                token = token.lower()
-            if len(token) < self.min_length:
-                continue
-            if not self.keep_numeric and token.isdigit():
-                continue
-            out.append(token)
-        return out
+                raw = [token.lower() for token in raw]
+        if self.min_length <= 1 and self.keep_numeric:
+            return raw
+        min_length = self.min_length
+        keep_numeric = self.keep_numeric
+        return [
+            token
+            for token in raw
+            if len(token) >= min_length and (keep_numeric or not token.isdigit())
+        ]
 
     def profile_tokens(self, profile: EntityProfile) -> list[str]:
         """All tokens of all attribute values of a profile (with repeats)."""
@@ -74,10 +84,7 @@ class Tokenizer:
         distinct token indexes the profile into one block (Token Blocking)
         and contributes one position to the Neighbor List.
         """
-        seen: dict[str, None] = {}
-        for token in self.profile_tokens(profile):
-            seen.setdefault(token)
-        return list(seen)
+        return list(dict.fromkeys(self.profile_tokens(profile)))
 
 
 DEFAULT_TOKENIZER = Tokenizer()

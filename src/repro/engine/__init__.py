@@ -1,0 +1,188 @@
+"""Array-backed engine core: the ``numpy`` execution backend.
+
+The paper's progressive methods are dominated by candidate-scoring data
+structures: the Profile Index (PPS/PBS, Section 5.2) and the Position
+Index over the Neighbor List (LS-PSN/GS-PSN, Section 5.1).  This package
+re-implements the hot paths as contiguous numpy arrays:
+
+* :mod:`repro.engine.csr` - ``ArrayProfileIndex`` and
+  ``ArrayPositionIndex``: CSR ``(indptr, indices)`` int arrays replacing
+  the dict-of-lists indexes;
+* :mod:`repro.engine.weights` - vectorized implementations of all five
+  Blocking Graph weighting schemes (ARCS/CBS/ECBS/JS/EJS) that score an
+  entire neighborhood in one array pass, materialized as an
+  ``ArrayBlockingGraph``;
+* :mod:`repro.engine.topk` - exact top-k emission via ``argpartition``
+  instead of per-pair heap pushes;
+* :mod:`repro.engine.equality` / :mod:`repro.engine.similarity` -
+  drop-in emission cores for PPS, PBS, LS-PSN and GS-PSN.
+
+Every kernel is engineered to reproduce the pure-Python reference
+*bit-identically*: accumulations run in the same left-to-right order the
+Python loops use (``np.bincount`` and ``np.cumsum`` are sequential),
+logarithm factors are precomputed with :func:`math.log`, and ties are
+broken with the same ``(-weight, i, j)`` order.  The parity suite under
+``tests/engine/`` asserts identical emission streams for all scheme x
+method combinations.
+
+Backend selection is a registry concern: ``"python"`` (the reference
+implementation, always available) and ``"numpy"`` (this package) are
+registered in :data:`repro.registry.backends`; select per method
+(``PPS(store, backend="numpy")``), per pipeline
+(``ERPipeline().backend("numpy")``) or per call
+(``resolve(data, method="PPS", backend="numpy")``).
+
+numpy itself is an optional dependency (the ``repro[speed]`` extra);
+importing :mod:`repro.engine` never imports numpy, and requesting the
+numpy backend without it raises a clear, actionable error.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from typing import Any
+
+from repro.registry import backends
+
+#: Whether numpy is importable in this environment (checked without
+#: importing it, so ``import repro.engine`` stays dependency-free).
+HAS_NUMPY: bool = importlib.util.find_spec("numpy") is not None
+
+
+def require_numpy(feature: str = "the numpy backend") -> None:
+    """Raise a clear error when numpy is missing for ``feature``.
+
+    The repo treats numpy as an optional accelerator (the ``[speed]``
+    extra in pyproject.toml); the pure-Python reference backend covers
+    every feature without it.
+    """
+    if not HAS_NUMPY:
+        raise ModuleNotFoundError(
+            f"{feature} requires numpy, which is not installed. "
+            "Install the speed extra (pip install 'repro[speed]') or "
+            "plain numpy, or use backend='python' (the reference "
+            "implementation, no dependencies)."
+        )
+
+
+class Backend:
+    """One execution backend: a named factory for the core structures.
+
+    The seam the progressive methods consume: a backend knows how to
+    build a profile index over scheduled blocks, a weighting scheme over
+    that index, and a position index over a Neighbor List.  The python
+    backend returns the reference structures; the numpy backend returns
+    the CSR/array versions with the same public API.
+    """
+
+    name: str = "abstract"
+
+    @property
+    def available(self) -> bool:
+        """Whether this backend can run in the current environment."""
+        return True
+
+    @property
+    def vectorized(self) -> bool:
+        """Whether methods should use the array emission cores."""
+        return False
+
+    def require(self) -> "Backend":
+        """Validate availability (no-op when available); returns self."""
+        return self
+
+    # -- structure factories (the backend seam) ---------------------------
+
+    def profile_index(self, collection: Any) -> Any:
+        """A profile -> block-ids inverted index over scheduled blocks."""
+        from repro.metablocking.profile_index import ProfileIndex
+
+        return ProfileIndex(collection)
+
+    def weighting(self, name: str, index: Any) -> Any:
+        """A weighting scheme instance bound to a profile index."""
+        from repro.metablocking.weights import make_scheme
+
+        return make_scheme(name, index)
+
+    def position_index(self, neighbor_list: Any) -> Any:
+        """A profile -> Neighbor List positions inverted index."""
+        from repro.neighborlist.position_index import PositionIndex
+
+        return PositionIndex(neighbor_list)
+
+
+class PythonBackend(Backend):
+    """The pure-Python reference backend (always available)."""
+
+    name = "python"
+
+
+class NumpyBackend(Backend):
+    """The numpy/CSR backend (requires the ``repro[speed]`` extra)."""
+
+    name = "numpy"
+
+    @property
+    def available(self) -> bool:
+        return HAS_NUMPY
+
+    @property
+    def vectorized(self) -> bool:
+        return True
+
+    def require(self) -> "NumpyBackend":
+        require_numpy("backend='numpy'")
+        return self
+
+    def profile_index(self, collection: Any) -> Any:
+        self.require()
+        from repro.engine.csr import ArrayProfileIndex
+
+        return ArrayProfileIndex(collection)
+
+    def weighting(self, name: str, index: Any) -> Any:
+        self.require()
+        from repro.engine.weights import make_array_scheme
+
+        return make_array_scheme(name, index)
+
+    def position_index(self, neighbor_list: Any) -> Any:
+        self.require()
+        from repro.engine.csr import ArrayPositionIndex
+
+        return ArrayPositionIndex(neighbor_list)
+
+
+# Register instances (not classes): a backend is stateless configuration,
+# so every lookup may share one object.
+_PYTHON = PythonBackend()
+_NUMPY = NumpyBackend()
+backends.register("python", lambda: _PYTHON, aliases=("py", "pure-python"))
+backends.register("numpy", lambda: _NUMPY, aliases=("np", "array", "csr"))
+
+
+def get_backend(name: str) -> Backend:
+    """The backend registered under ``name`` (any spelling).
+
+    Availability is *not* checked here - config validation must work on
+    machines without numpy; call :meth:`Backend.require` before building
+    structures.
+    """
+    return backends.build(name)
+
+
+def available_backends() -> list[str]:
+    """Canonical names of the backends usable in this environment."""
+    return [name for name in backends.names() if backends.build(name).available]
+
+
+__all__ = [
+    "HAS_NUMPY",
+    "require_numpy",
+    "Backend",
+    "PythonBackend",
+    "NumpyBackend",
+    "get_backend",
+    "available_backends",
+]

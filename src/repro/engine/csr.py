@@ -1,0 +1,243 @@
+"""CSR (compressed sparse row) indexes over contiguous int arrays.
+
+Drop-in array replacements for the dict-of-lists indexes of the
+reference implementation:
+
+* :class:`ArrayProfileIndex` mirrors
+  :class:`repro.metablocking.profile_index.ProfileIndex` - the
+  profile -> sorted block-ids index of PPS/PBS (Section 5.2) - and adds
+  the reverse block -> profile-ids CSR the vectorized kernels gather
+  neighborhoods from;
+* :class:`ArrayPositionIndex` mirrors
+  :class:`repro.neighborlist.position_index.PositionIndex` - the
+  profile -> Neighbor List positions index of LS-PSN/GS-PSN
+  (Section 5.1).
+
+Both expose the same public API as their reference counterparts, so the
+backend seam can hand either to existing call sites.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.engine import require_numpy
+
+require_numpy("repro.engine.csr")
+
+import numpy as np  # noqa: E402  (guarded optional dependency)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.blocking.base import BlockCollection
+    from repro.neighborlist.neighbor_list import NeighborList
+
+
+def multi_arange(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenation of ``arange(s, s + c)`` for each (s, c) pair.
+
+    The standard O(total) trick for gathering many CSR rows at once
+    without a Python loop: build a delta array whose cumulative sum walks
+    through every requested range.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    counts = np.asarray(counts, dtype=np.int64)
+    nonzero = counts > 0
+    if not nonzero.all():
+        starts, counts = starts[nonzero], counts[nonzero]
+    if starts.size == 0:
+        return np.empty(0, dtype=np.int64)
+    ends = np.cumsum(counts)
+    deltas = np.ones(int(ends[-1]), dtype=np.int64)
+    deltas[0] = starts[0]
+    # At each range boundary, jump from the previous range's last value
+    # (starts[k-1] + counts[k-1] - 1) to the next range's first.
+    deltas[ends[:-1]] = starts[1:] - (starts[:-1] + counts[:-1] - 1)
+    return np.cumsum(deltas)
+
+
+class ArrayProfileIndex:
+    """CSR inverted index over a scheduled block collection.
+
+    Same contract as :class:`~repro.metablocking.profile_index.ProfileIndex`
+    (block ids are positions in the processing order; per-profile block
+    lists are ascending), stored as two CSR pairs:
+
+    * ``pb_indptr``/``pb_indices`` - profile -> block ids (ascending);
+    * ``bp_indptr``/``bp_indices`` - block -> profile ids (block order).
+    """
+
+    __slots__ = (
+        "collection",
+        "store",
+        "n_profiles",
+        "block_cardinalities",
+        "pb_indptr",
+        "pb_indices",
+        "bp_indptr",
+        "bp_indices",
+        "sources",
+    )
+
+    def __init__(self, collection: "BlockCollection") -> None:
+        if any(block.block_id < 0 for block in collection.blocks):
+            collection.assign_block_ids()
+        self.collection = collection
+        self.store = collection.store
+        store = collection.store
+        er_type = store.er_type
+        blocks = collection.blocks
+        n = len(store)
+        self.n_profiles = n
+
+        self.block_cardinalities = np.fromiter(
+            (block.cardinality(er_type) for block in blocks),
+            dtype=np.int64,
+            count=len(blocks),
+        )
+        sizes = np.fromiter(
+            (len(block.ids) for block in blocks), dtype=np.int64, count=len(blocks)
+        )
+        self.bp_indptr = np.zeros(len(blocks) + 1, dtype=np.int64)
+        np.cumsum(sizes, out=self.bp_indptr[1:])
+        if blocks:
+            self.bp_indices = np.concatenate(
+                [np.asarray(block.ids, dtype=np.int64) for block in blocks]
+            )
+        else:
+            self.bp_indices = np.empty(0, dtype=np.int64)
+
+        # Transpose to the profile -> blocks CSR.  Entries are generated
+        # in ascending block-id order, so a stable sort by profile keeps
+        # each profile's block list ascending - the property the LeCoBI
+        # merge and the weighting accumulation order both rely on.
+        owners = np.repeat(np.arange(len(blocks), dtype=np.int64), sizes)
+        order = np.argsort(self.bp_indices, kind="stable")
+        self.pb_indices = owners[order]
+        counts = np.bincount(self.bp_indices, minlength=n)
+        self.pb_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.pb_indptr[1:])
+
+        self.sources = np.fromiter(
+            (profile.source for profile in store), dtype=np.int64, count=n
+        )
+
+    # -- lookups (ProfileIndex API) -----------------------------------------
+
+    def blocks_of(self, profile_id: int) -> np.ndarray:
+        """Ascending ids of the blocks containing ``profile_id``."""
+        if not 0 <= profile_id < self.n_profiles:
+            return np.empty(0, dtype=np.int64)
+        return self.pb_indices[
+            self.pb_indptr[profile_id] : self.pb_indptr[profile_id + 1]
+        ]
+
+    def profiles_of(self, block_id: int) -> np.ndarray:
+        """Profile ids of one block, in block order."""
+        return self.bp_indices[
+            self.bp_indptr[block_id] : self.bp_indptr[block_id + 1]
+        ]
+
+    def block_count(self) -> int:
+        """|B| - number of blocks in the indexed collection."""
+        return len(self.collection.blocks)
+
+    def block_counts_per_profile(self) -> np.ndarray:
+        """|B_i| for every profile id (0 for unindexed profiles)."""
+        return np.diff(self.pb_indptr)
+
+    def indexed_profiles(self) -> list[int]:
+        """Profile ids that appear in at least one block, ascending."""
+        return np.nonzero(np.diff(self.pb_indptr))[0].tolist()
+
+    # -- merge-based pair operations (Section 5.2.1) -------------------------
+
+    def common_blocks(self, i: int, j: int) -> list[int]:
+        """Ids of the blocks shared by profiles ``i`` and ``j`` (sorted)."""
+        return np.intersect1d(
+            self.blocks_of(i), self.blocks_of(j), assume_unique=True
+        ).tolist()
+
+    def least_common_block(self, i: int, j: int) -> int | None:
+        """The smallest shared block id, or None when none is shared."""
+        common = np.intersect1d(
+            self.blocks_of(i), self.blocks_of(j), assume_unique=True
+        )
+        if common.size == 0:
+            return None
+        return int(common[0])
+
+    def is_first_encounter(self, i: int, j: int, block_id: int) -> bool:
+        """The LeCoBI condition: is ``block_id`` where (i, j) first co-occur?"""
+        return self.least_common_block(i, j) == block_id
+
+
+class ArrayPositionIndex:
+    """CSR inverted index from profile ids to Neighbor List positions.
+
+    Mirrors :class:`~repro.neighborlist.position_index.PositionIndex`;
+    additionally exposes the Neighbor List itself as the contiguous
+    ``entries`` int array the vectorized window kernels slide over.
+    """
+
+    __slots__ = ("neighbor_list", "entries", "n_profiles", "indptr", "positions")
+
+    def __init__(self, neighbor_list: "NeighborList") -> None:
+        self.neighbor_list = neighbor_list
+        self.entries = np.asarray(neighbor_list.entries, dtype=np.int64)
+        n = int(self.entries.max()) + 1 if self.entries.size else 0
+        self.n_profiles = n
+        counts = np.bincount(self.entries, minlength=n)
+        self.indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.indptr[1:])
+        # Stable sort by profile id keeps positions ascending per profile.
+        self.positions = np.argsort(self.entries, kind="stable")
+
+    def positions_of(self, profile_id: int) -> np.ndarray:
+        """Ascending positions of ``profile_id`` in the Neighbor List."""
+        if not 0 <= profile_id < self.n_profiles:
+            return np.empty(0, dtype=np.int64)
+        return self.positions[
+            self.indptr[profile_id] : self.indptr[profile_id + 1]
+        ]
+
+    def appearance_count(self, profile_id: int) -> int:
+        """|PI[i]| - how many blocking keys the profile contributed."""
+        if not 0 <= profile_id < self.n_profiles:
+            return 0
+        return int(self.indptr[profile_id + 1] - self.indptr[profile_id])
+
+    def appearance_counts(self) -> np.ndarray:
+        """|PI[i]| for every profile id, as one array."""
+        return np.diff(self.indptr)
+
+    def indexed_profiles(self) -> list[int]:
+        """Profile ids with at least one position, ascending."""
+        return np.nonzero(np.diff(self.indptr))[0].tolist()
+
+    def cooccurrence_frequency(
+        self, i: int, j: int, window_size: int, cumulative: bool = False
+    ) -> int:
+        """Number of position pairs of (i, j) at distance ``window_size``.
+
+        Vectorized counterpart of the reference implementation: counts
+        membership of ``positions(i) +- d`` in ``positions(j)`` for each
+        distance d in the window range.
+        """
+        if window_size < 1:
+            raise ValueError("window_size must be positive")
+        a = self.positions_of(i)
+        b = self.positions_of(j)
+        if a.size == 0 or b.size == 0:
+            return 0
+        distances = (
+            np.arange(1, window_size + 1, dtype=np.int64)
+            if cumulative
+            else np.asarray([window_size], dtype=np.int64)
+        )
+        shifted = a[:, None] + distances[None, :]
+        count = int(np.isin(shifted, b).sum())
+        count += int(np.isin(a[:, None] - distances[None, :], b).sum())
+        return count
+
+    def __len__(self) -> int:
+        return int((np.diff(self.indptr) > 0).sum())

@@ -1,0 +1,327 @@
+"""Array emission cores for the equality-based methods (PPS and PBS).
+
+Both cores consume the same two structures - an
+:class:`~repro.engine.csr.ArrayProfileIndex` and a materialized
+:class:`~repro.engine.weights.ArrayBlockingGraph` - and reproduce the
+reference emission streams bit for bit (see the module docstring of
+:mod:`repro.engine.weights` for how exactness is engineered).
+
+* :class:`ArrayPPSCore` - Algorithms 5-6 (Section 5.2.2): duplication
+  likelihoods and per-profile best comparisons fall out of per-row array
+  reductions over the graph; the emission phase replaces the
+  SortedStack with :func:`repro.engine.topk.top_k_pairs`.
+* :class:`ArrayPBSCore` - Algorithms 3-4 (Section 5.2.1): all block
+  comparisons are enumerated as flat arrays once, the LeCoBI
+  repeated-comparison test becomes one stable argsort over canonical
+  pair keys (the first event of each key *is* the least common block),
+  and pair weights resolve with one ``searchsorted`` into the graph's
+  edge arrays.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+from repro.core.comparisons import Comparison, ComparisonList
+from repro.core.profiles import ERType
+from repro.engine import require_numpy
+from repro.engine.csr import ArrayProfileIndex, multi_arange
+from repro.engine.topk import (
+    iter_comparisons,
+    sort_pairs_descending,
+    top_k_pairs,
+)
+from repro.engine.weights import ArrayBlockingGraph
+
+require_numpy("repro.engine.equality")
+
+import numpy as np  # noqa: E402  (guarded optional dependency)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.blocking.base import BlockCollection
+
+
+class ArrayPPSCore:
+    """Vectorized initialization + emission state for PPS.
+
+    Parameters
+    ----------
+    scheduled:
+        The scheduled block collection (ids = positions).
+    weighting:
+        Weighting scheme name (resolved to its array kernel).
+    k_max:
+        Emission batch bound per scheduled profile; ``None`` applies the
+        same adaptive rule as the reference implementation.
+    """
+
+    __slots__ = ("index", "graph", "k_max", "_checked")
+
+    def __init__(
+        self,
+        scheduled: "BlockCollection",
+        weighting: str,
+        k_max: int | None,
+    ) -> None:
+        self.index = ArrayProfileIndex(scheduled)
+        self.graph = ArrayBlockingGraph(self.index, weighting)
+        if k_max is None:
+            # Same adaptive rule (and Python arithmetic) as the reference:
+            # average block comparisons per profile, clamped to [10, 50].
+            population = max(1, len(self.index.indexed_profiles()))
+            aggregate = int(self.index.block_cardinalities.sum())
+            k_max = max(10, min(50, round(2 * aggregate / population)))
+        self.k_max = k_max
+        self._checked = np.zeros(self.index.n_profiles, dtype=bool)
+
+    # -- initialization phase (Algorithm 5) ----------------------------------
+
+    def init_lists(self) -> tuple[list[tuple[int, float]], ComparisonList]:
+        """(Sorted Profile List, initial Comparison List).
+
+        Per profile: duplication likelihood = mean finalized edge weight
+        (summed in first-encounter order, matching the reference dict
+        iteration) and the single best comparison (max weight, ties to
+        the first-encountered neighbor).  Both fall out of two global
+        array passes over the graph rows - no per-profile loop.
+        """
+        graph = self.graph
+        n = self.index.n_profiles
+        row_lengths = np.diff(graph.indptr)
+        present = np.nonzero(row_lengths)[0]
+        if present.size == 0:
+            return [], ComparisonList()
+        owners = np.repeat(np.arange(n, dtype=np.int64), row_lengths)
+
+        # Likelihoods: reorder each row into encounter order (one int
+        # argsort - the global first-event index is owner-major already),
+        # then one bincount accumulates every row left-to-right
+        # (bit-identical to the reference's dict-iteration sum).
+        encounter = np.argsort(graph.first_event_index)
+        sums = np.bincount(
+            owners[encounter], weights=graph.weights[encounter], minlength=n
+        )
+        likelihoods = sums[present] / row_lengths[present]
+
+        # Best comparison per profile: row maxima via one reduceat, then
+        # the earliest-encountered entry among the per-row ties - the
+        # reference's running-max with strict improvement keeps exactly
+        # that neighbor.
+        row_max = np.maximum.reduceat(graph.weights, graph.indptr[present])
+        dense_max = np.empty(n, dtype=np.float64)
+        dense_max[present] = row_max
+        ties = np.nonzero(graph.weights == dense_max[owners])[0]
+        ties = ties[np.argsort(graph.first_event_index[ties])]
+        tie_owners = owners[ties]
+        heads = np.empty(ties.size, dtype=bool)
+        heads[0] = True
+        np.not_equal(tie_owners[1:], tie_owners[:-1], out=heads[1:])
+        best = ties[heads]  # one entry per present profile, ascending
+        best_neighbors = graph.neighbors[best]
+        best_weights = graph.weights[best]
+        pair_i = np.minimum(present, best_neighbors)
+        pair_j = np.maximum(present, best_neighbors)
+
+        profile_list = list(zip(present.tolist(), likelihoods.tolist()))
+        profile_list.sort(key=lambda item: (-item[1], item[0]))
+
+        top_comparisons: dict[tuple[int, int], float] = {}
+        for i, j, weight in zip(
+            pair_i.tolist(), pair_j.tolist(), best_weights.tolist()
+        ):
+            existing = top_comparisons.get((i, j))
+            if existing is None or weight > existing:
+                top_comparisons[(i, j)] = weight
+        initial = ComparisonList()
+        initial.extend(
+            Comparison(i, j, weight) for (i, j), weight in top_comparisons.items()
+        )
+        return profile_list, initial
+
+    # -- emission phase (Algorithm 6) ----------------------------------------
+
+    def sync_checked(self, checked: Iterable[int]) -> None:
+        """Mirror a ``checkedEntities`` set into the boolean mask.
+
+        Always rebuilt from scratch: the hot emission path precomputes
+        the whole schedule in :meth:`emit_schedule` and never passes
+        through here, so per-call O(|checked|) is only paid by direct
+        :meth:`PPS.profile_comparisons` API use - and rebuilding keeps
+        arbitrary in-place set mutations (add/discard between calls)
+        correct.
+        """
+        self._checked[:] = False
+        checked = list(checked)
+        if checked:
+            self._checked[np.asarray(checked, dtype=np.int64)] = True
+
+    def profile_topk(self, profile_id: int, k: int) -> list[Comparison]:
+        """The k best unchecked comparisons of one scheduled profile,
+        in emission order (replaces the SortedStack drain)."""
+        neighbors, weights = self.graph.row(profile_id)
+        keep = ~self._checked[neighbors]
+        neighbors, weights = neighbors[keep], weights[keep]
+        if neighbors.size == 0:
+            return []
+        i = np.minimum(profile_id, neighbors)
+        j = np.maximum(profile_id, neighbors)
+        order = top_k_pairs(i, j, weights, k)
+        return list(iter_comparisons(i[order], j[order], weights[order]))
+
+    def emit_schedule(
+        self, schedule: Sequence[int], k: int
+    ) -> Iterator[Comparison]:
+        """The entire Algorithm 6 emission, precomputed in one array pass.
+
+        Processing the Sorted Profile List in order with a persistent
+        ``checkedEntities`` set means edge (i, j) is considered exactly
+        once, from whichever endpoint is scheduled *earlier* - i.e. keep
+        the edge iff ``rank[neighbor] > rank[owner]``.  Sorting the kept
+        edges by ``(rank[owner], -weight, neighbor)`` and truncating each
+        owner segment at K_max reproduces the per-profile SortedStack
+        drains end to end, without any per-profile Python work.
+        """
+        graph = self.graph
+        n = self.index.n_profiles
+        order_pids = np.asarray(schedule, dtype=np.int64)
+        rank = np.full(n, n, dtype=np.int64)
+        rank[order_pids] = np.arange(order_pids.size, dtype=np.int64)
+
+        owners = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.indptr))
+        keep = rank[graph.neighbors] > rank[owners]
+        owner = owners[keep]
+        neighbor = graph.neighbors[keep]
+        weight = graph.weights[keep]
+        if owner.size == 0:
+            return iter(())
+
+        owner_rank = rank[owner]
+        # For a fixed owner, ordering by bare neighbor id equals ordering
+        # by the canonical (i, j) pair, so three sort keys suffice.
+        emission_order = np.lexsort((neighbor, -weight, owner_rank))
+        segment_rank = owner_rank[emission_order]
+        heads = np.empty(segment_rank.size, dtype=bool)
+        heads[0] = True
+        np.not_equal(segment_rank[1:], segment_rank[:-1], out=heads[1:])
+        positions = np.arange(segment_rank.size, dtype=np.int64)
+        segment_starts = np.maximum.accumulate(np.where(heads, positions, 0))
+        selected = emission_order[positions - segment_starts < k]
+
+        i = np.minimum(owner[selected], neighbor[selected])
+        j = np.maximum(owner[selected], neighbor[selected])
+        return iter_comparisons(i, j, weight[selected])
+
+
+class ArrayPBSCore:
+    """Vectorized block enumeration + emission for PBS."""
+
+    __slots__ = (
+        "index",
+        "graph",
+        "block_indptr",
+        "pair_i",
+        "pair_j",
+        "first_encounter",
+        "pair_weights",
+    )
+
+    def __init__(self, index: ArrayProfileIndex, graph: ArrayBlockingGraph) -> None:
+        self.index = index
+        self.graph = graph
+        self._build_events()
+
+    def _build_events(self) -> None:
+        """Enumerate every block comparison once, as flat arrays.
+
+        Blocks are batched by shape (size for Dirty ER, left x right
+        split for Clean-clean) so pair generation is a handful of 2-D
+        array operations per *distinct* shape instead of one call per
+        block; each batch scatters into its blocks' slots of the
+        block-major event arrays.  Block-major order is what makes a
+        stable argsort over canonical pair keys equal the paper's
+        LeCoBI condition ("first event of each key" = least common
+        block id).
+        """
+        index = self.index
+        n = index.n_profiles
+        clean_clean = index.store.er_type is ERType.CLEAN_CLEAN
+        sources = index.sources
+        block_count = index.block_count()
+        bp_indptr, bp_indices = index.bp_indptr, index.bp_indices
+
+        cardinalities = index.block_cardinalities
+        indptr = np.zeros(block_count + 1, dtype=np.int64)
+        np.cumsum(cardinalities, out=indptr[1:])
+        self.block_indptr = indptr
+        total = int(indptr[-1])
+        pair_i = np.empty(total, dtype=np.int64)
+        pair_j = np.empty(total, dtype=np.int64)
+
+        sizes = np.diff(bp_indptr)
+        if clean_clean:
+            left_sizes = np.zeros(block_count, dtype=np.int64)
+            entry_owners = np.repeat(np.arange(block_count, dtype=np.int64), sizes)
+            np.add.at(left_sizes, entry_owners, sources[bp_indices] == 0)
+            shapes = left_sizes * (sizes.max() + 1 if block_count else 1) + sizes
+        else:
+            shapes = sizes
+
+        for shape in np.unique(shapes):
+            batch = np.nonzero((shapes == shape) & (cardinalities > 0))[0]
+            if batch.size == 0:
+                continue
+            size = int(sizes[batch[0]])
+            members = bp_indices[
+                multi_arange(bp_indptr[batch], np.full(batch.size, size))
+            ].reshape(batch.size, size)
+            if clean_clean:
+                # Stable sort by source keeps each side's in-block order,
+                # then every row is [left..., right...].
+                split = int(left_sizes[batch[0]])
+                order = np.argsort(
+                    sources[members], axis=1, kind="stable"
+                )
+                members = np.take_along_axis(members, order, axis=1)
+                left, right = members[:, :split], members[:, split:]
+                raw_i = np.repeat(left, size - split, axis=1).ravel()
+                raw_j = np.tile(right, (1, split)).ravel()
+            else:
+                a, b = np.triu_indices(size, 1)
+                raw_i = members[:, a].ravel()
+                raw_j = members[:, b].ravel()
+            slots = multi_arange(
+                indptr[batch], np.full(batch.size, int(cardinalities[batch[0]]))
+            )
+            pair_i[slots] = np.minimum(raw_i, raw_j)
+            pair_j[slots] = np.maximum(raw_i, raw_j)
+
+        self.pair_i = pair_i
+        self.pair_j = pair_j
+
+        keys = self.pair_i * n + self.pair_j
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        head = np.empty(sorted_keys.size, dtype=bool)
+        if sorted_keys.size:
+            head[0] = True
+            np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=head[1:])
+        first = np.zeros(keys.size, dtype=bool)
+        first[order[head]] = True
+        self.first_encounter = first
+        self.pair_weights = self.graph.edge_weights_for(keys)
+
+    def block_comparisons(self, block_id: int) -> list[Comparison]:
+        """New (non-repeated) weighted comparisons of one block, in
+        emission order."""
+        start, end = self.block_indptr[block_id], self.block_indptr[block_id + 1]
+        keep = self.first_encounter[start:end]
+        i = self.pair_i[start:end][keep]
+        j = self.pair_j[start:end][keep]
+        weights = self.pair_weights[start:end][keep]
+        order = sort_pairs_descending(i, j, weights)
+        return list(iter_comparisons(i[order], j[order], weights[order]))
+
+    def emit(self) -> Iterator[Comparison]:
+        """All blocks in scheduling order, best-first inside each."""
+        for block_id in range(self.index.block_count()):
+            yield from self.block_comparisons(block_id)

@@ -1,0 +1,171 @@
+"""Array window kernels for the similarity-based methods (LS/GS-PSN).
+
+The reference implementation scans the Neighbor List profile by profile,
+position by position (Algorithm 1 lines 8-16).  The array core slides
+the *whole list at once*: for window distance ``w`` the co-occurrence
+events are exactly the aligned pairs ``(entries[:-w], entries[w:])``, so
+one shifted comparison plus a grouped count replaces the per-profile
+Position Index probing.  Weighting (RCF or CF) is one element-wise
+expression over the grouped counts.
+
+Event-counting equivalence: the reference counts each positional pair
+once - from the larger id's side for Dirty ER (the ``j < i`` check),
+from the source-0 side for Clean-clean - which is precisely "every
+aligned pair at distance w whose two profiles form a valid comparison".
+Weights are exact integer-ratio arithmetic, so streams match the
+reference bit for bit; emission order is the shared ``(-weight, i, j)``.
+
+Custom :class:`~repro.neighborlist.rcf.NeighborWeighting` strategies
+still work: frequencies are computed vectorized, then the strategy is
+applied pair-by-pair against an :class:`ArrayPositionIndex`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+from repro.core.comparisons import Comparison
+from repro.core.profiles import ERType, ProfileStore
+from repro.engine import require_numpy
+from repro.engine.csr import ArrayPositionIndex
+from repro.engine.topk import iter_comparisons
+from repro.neighborlist.rcf import CFWeighting, NeighborWeighting, RCFWeighting
+
+require_numpy("repro.engine.similarity")
+
+import numpy as np  # noqa: E402  (guarded optional dependency)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.neighborlist.neighbor_list import NeighborList
+
+
+class ArrayPSNCore:
+    """Vectorized window scoring over one Neighbor List.
+
+    Parameters
+    ----------
+    neighbor_list:
+        The (already built) Neighbor List; only ``entries`` is read.
+    store:
+        Task shape provider (Dirty vs Clean-clean validity).
+    weighting:
+        A :class:`NeighborWeighting` strategy instance.  RCF and CF run
+        fully vectorized; any other strategy gets vectorized frequencies
+        and a per-pair Python fallback for the weights.
+    """
+
+    __slots__ = (
+        "entries",
+        "store",
+        "weighting",
+        "position_index",
+        "n_profiles",
+        "_sources",
+        "_clean_clean",
+        "_appearances",
+    )
+
+    def __init__(
+        self,
+        neighbor_list: "NeighborList",
+        store: ProfileStore,
+        weighting: NeighborWeighting,
+    ) -> None:
+        self.entries = np.asarray(neighbor_list.entries, dtype=np.int64)
+        self.store = store
+        self.weighting = weighting
+        self.position_index = ArrayPositionIndex(neighbor_list)
+        self.n_profiles = len(store)
+        self._sources = np.fromiter(
+            (profile.source for profile in store),
+            dtype=np.int64,
+            count=self.n_profiles,
+        )
+        self._clean_clean = store.er_type is ERType.CLEAN_CLEAN
+        self._appearances = np.bincount(self.entries, minlength=self.n_profiles)
+
+    # -- frequency counting --------------------------------------------------
+
+    def pair_frequencies(
+        self, distances: Sequence[int]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(i, j, frequency) for every valid pair co-occurring at any of
+        the given window distances (frequencies accumulate across them).
+
+        Pairs come back canonical (i < j) and key-sorted; the caller
+        re-sorts by weight for emission anyway.
+        """
+        entries = self.entries
+        size = entries.size
+        key_chunks: list[np.ndarray] = []
+        for distance in distances:
+            if distance < 1 or distance >= size:
+                continue
+            a = entries[:-distance]
+            b = entries[distance:]
+            if self._clean_clean:
+                valid = self._sources[a] != self._sources[b]
+            else:
+                valid = a != b
+            low = np.minimum(a[valid], b[valid])
+            high = np.maximum(a[valid], b[valid])
+            key_chunks.append(low * self.n_profiles + high)
+        if not key_chunks:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty, empty
+        keys = key_chunks[0] if len(key_chunks) == 1 else np.concatenate(key_chunks)
+        unique_keys, frequencies = np.unique(keys, return_counts=True)
+        return (
+            unique_keys // self.n_profiles,
+            unique_keys % self.n_profiles,
+            frequencies,
+        )
+
+    # -- weighting -----------------------------------------------------------
+
+    def _vector_weights(
+        self, i: np.ndarray, j: np.ndarray, frequencies: np.ndarray
+    ) -> np.ndarray:
+        if isinstance(self.weighting, RCFWeighting):
+            appearances = self._appearances[i] + self._appearances[j]
+            denominator = appearances - frequencies
+            out = frequencies.astype(np.float64)
+            positive = denominator > 0
+            np.divide(frequencies, denominator, out=out, where=positive)
+            return out
+        if isinstance(self.weighting, CFWeighting):
+            return frequencies.astype(np.float64)
+        # Custom strategy: vectorized counting, per-pair weighting.
+        return np.fromiter(
+            (
+                self.weighting.weight(
+                    int(freq), int(pi), int(pj), self.position_index
+                )
+                for pi, pj, freq in zip(i, j, frequencies)
+            ),
+            dtype=np.float64,
+            count=i.size,
+        )
+
+    # -- emission ------------------------------------------------------------
+
+    def window_arrays(
+        self, distances: Sequence[int]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(i, j, weight) of one window range, in emission order."""
+        i, j, frequencies = self.pair_frequencies(distances)
+        weights = self._vector_weights(i, j, frequencies)
+        # Pairs come key-sorted from the grouped count, so one stable
+        # sort on descending weight leaves weight ties in ascending
+        # (i, j) order - the full ``(-weight, i, j)`` emission order at
+        # a third of the lexsort passes.
+        order = np.argsort(-weights, kind="stable")
+        return i[order], j[order], weights[order]
+
+    def window_comparisons(self, distances: Sequence[int]) -> list[Comparison]:
+        """Weighted comparisons of one window range, best first."""
+        return list(self.emit_window(distances))
+
+    def emit_window(self, distances: Sequence[int]) -> Iterator[Comparison]:
+        """Yield one window range's comparisons, best first."""
+        return iter_comparisons(*self.window_arrays(distances))

@@ -5,7 +5,7 @@ from repro.metablocking.blocking_graph import (
     edge_count,
     iter_edges,
 )
-from repro.metablocking.profile_index import ProfileIndex
+from repro.metablocking.profile_index import ProfileIndex, build_profile_index
 from repro.metablocking.pruning import (
     cardinality_edge_pruning,
     cardinality_node_pruning,
@@ -28,6 +28,7 @@ __all__ = [
     "edge_count",
     "iter_edges",
     "ProfileIndex",
+    "build_profile_index",
     "cardinality_edge_pruning",
     "cardinality_node_pruning",
     "weighted_edge_pruning",

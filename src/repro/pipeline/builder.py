@@ -118,6 +118,20 @@ class ERPipeline:
         )
         return self
 
+    def backend(self, name: str = "python") -> "ERPipeline":
+        """Choose the execution backend for backend-aware methods.
+
+        ``"python"`` (default) is the reference implementation;
+        ``"numpy"`` runs PPS/PBS/LS-PSN/GS-PSN on the CSR/array engine
+        (requires the ``repro[speed]`` extra) and emits the identical
+        comparison stream.  Methods without a backend seam (PSN,
+        SA-PSN, SA-PSAB) ignore the setting.
+        """
+        from repro.registry import backends
+
+        self._config.backend = backends.canonical(name)
+        return self
+
     # -- spec round-trip ------------------------------------------------------
 
     @property
@@ -191,6 +205,7 @@ def _snapshot(config: PipelineConfig) -> PipelineConfig:
         method=_copy_params(config.method),
         matcher=None if config.matcher is None else _copy_params(config.matcher),
         budget=dataclasses.replace(config.budget),
+        backend=config.backend,
     )
 
 

@@ -20,6 +20,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Any, Mapping
 
 from repro.registry import (
+    backends,
     blocking_schemes,
     matchers,
     progressive_methods,
@@ -157,13 +158,25 @@ class BudgetConfig:
 
 @dataclass
 class PipelineConfig:
-    """The full pipeline spec: one dataclass per stage, dict round-trip."""
+    """The full pipeline spec: one dataclass per stage, dict round-trip.
+
+    ``backend`` selects the execution engine for methods that support
+    the seam (PPS/PBS/LS-PSN/GS-PSN): ``"python"`` is the reference
+    implementation, ``"numpy"`` the CSR/array engine (``repro[speed]``
+    extra).  Validation only canonicalizes the name; availability is
+    checked when the method is built, so specs stay portable to
+    machines without numpy.
+    """
 
     blocking: BlockingConfig = field(default_factory=BlockingConfig)
     meta: MetaBlockingConfig = field(default_factory=MetaBlockingConfig)
     method: MethodConfig = field(default_factory=MethodConfig)
     matcher: MatcherConfig | None = None
     budget: BudgetConfig = field(default_factory=BudgetConfig)
+    backend: str = "python"
+
+    def __post_init__(self) -> None:
+        self.backend = backends.canonical(self.backend)
 
     def to_dict(self) -> dict[str, Any]:
         """A plain nested dict reproducing this config via ``from_dict``."""
@@ -173,12 +186,15 @@ class PipelineConfig:
             "method": asdict(self.method),
             "matcher": None if self.matcher is None else asdict(self.matcher),
             "budget": asdict(self.budget),
+            "backend": self.backend,
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "PipelineConfig":
         _reject_unknown_keys(
-            "pipeline", data, ("blocking", "meta", "method", "matcher", "budget")
+            "pipeline",
+            data,
+            ("blocking", "meta", "method", "matcher", "budget", "backend"),
         )
         matcher = data.get("matcher")
         return cls(
@@ -187,4 +203,5 @@ class PipelineConfig:
             method=MethodConfig.from_dict(data.get("method", {})),
             matcher=None if matcher is None else MatcherConfig.from_dict(matcher),
             budget=BudgetConfig.from_dict(data.get("budget", {})),
+            backend=data.get("backend", "python"),
         )

@@ -54,6 +54,7 @@ def resolve(
     purge: bool | float | None = True,
     filter_ratio: bool | float | None = 0.8,
     weighting: str = "ARCS",
+    backend: str = "python",
     ground_truth: GroundTruth | None = None,
     **method_params: Any,
 ) -> ResolutionResult:
@@ -73,6 +74,10 @@ def resolve(
         falls back to the ground truth when available.
     blocking, purge, filter_ratio, weighting:
         Substrate knobs for the equality-based methods.
+    backend:
+        Execution backend for backend-aware methods: ``"python"``
+        (reference) or ``"numpy"`` (CSR/array engine, ``repro[speed]``
+        extra) - e.g. ``resolve(data, method="PPS", backend="numpy")``.
     method_params:
         Forwarded to the method constructor (e.g. ``k_max=20``).
 
@@ -88,6 +93,7 @@ def resolve(
         .blocking(blocking, purge=purge, filter_ratio=filter_ratio)
         .meta(weighting)
         .method(method, **method_params)
+        .backend(backend)
         .budget(
             comparisons=budget, seconds=seconds, target_recall=target_recall
         )

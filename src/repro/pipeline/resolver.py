@@ -165,6 +165,10 @@ class Resolver:
             # bring-your-own-blocks call still honors the .meta() stage
             if progressive_methods.accepts(name, "weighting"):
                 kwargs.setdefault("weighting", self.config.meta.weighting)
+        # the backend seam: only methods that declare it get the engine
+        # selection; the rest (PSN, SA-PSN, SA-PSAB) stay backend-free
+        if progressive_methods.accepts(name, "backend"):
+            kwargs.setdefault("backend", self.config.backend)
         if (
             self._psn_key is not None
             and progressive_methods.accepts(name, "key_function")

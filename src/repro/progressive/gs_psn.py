@@ -16,6 +16,12 @@ that would add one comparison per (neighbor, window) pair, contradicting
 the stated goal of eliminating repeats; we accumulate frequencies over the
 full range and weight each distinct neighbor once, matching the stated
 semantics (see DESIGN.md).
+
+Backends: ``backend="python"`` (default) accumulates per-profile dicts;
+``backend="numpy"`` counts the whole window range with shifted-array
+events and one grouped pass (:mod:`repro.engine.similarity`), holding
+the global order as three flat arrays instead of an object list.  Same
+stream either way.
 """
 
 from __future__ import annotations
@@ -47,6 +53,9 @@ class GSPSN(_SimilarityBase):
         Co-occurrence weighting scheme name or instance (default RCF).
     tie_order, seed:
         Order inside equal-token runs.
+    backend:
+        Execution backend: ``"python"`` (reference) or ``"numpy"``
+        (array window kernels, requires the ``repro[speed]`` extra).
     """
 
     name = "GS-PSN"
@@ -59,18 +68,25 @@ class GSPSN(_SimilarityBase):
         weighting: str | NeighborWeighting = "RCF",
         tie_order: str = "random",
         seed: int | None = 0,
+        backend: str = "python",
     ) -> None:
         if max_window < 1:
             raise ValueError("max_window must be positive")
-        super().__init__(store, tokenizer, weighting, tie_order, seed)
+        super().__init__(store, tokenizer, weighting, tie_order, seed, backend)
         self.max_window = max_window
         self._comparisons: ComparisonList | None = None
+        self._window_arrays: tuple | None = None
 
     def _setup(self) -> None:
         self._build_structures()
         assert self.neighbor_list is not None
         window_range = range(1, min(self.max_window, len(self.neighbor_list)) + 1)
         distances = tuple(window_range)
+        if self._core is not None:
+            # The global order as flat (i, j, weight) arrays - the whole
+            # initialization phase is one grouped array pass.
+            self._window_arrays = self._core.window_arrays(distances)
+            return
         comparisons = ComparisonList()
         for profile_id in self._scan_ids:
             frequency = self._neighbor_frequencies(profile_id, distances)
@@ -78,5 +94,15 @@ class GSPSN(_SimilarityBase):
         self._comparisons = comparisons
 
     def _emit(self) -> Iterator[Comparison]:
+        if self._core is not None:
+            # Consume the arrays on first emission, mirroring the python
+            # path's destructive ComparisonList.drain: a second iteration
+            # yields nothing on either backend.
+            arrays, self._window_arrays = self._window_arrays, None
+            if arrays is not None:
+                from repro.engine.topk import iter_comparisons
+
+                yield from iter_comparisons(*arrays)
+            return
         assert self._comparisons is not None
         yield from self._comparisons.drain()

@@ -8,11 +8,17 @@ window's comparisons are emitted from the highest weight to the lowest
 when a window's Comparison List drains, the window grows by one and the
 weighting repeats - so a pair co-occurring at several distances can be
 re-emitted in later windows (the drawback GS-PSN removes).
+
+Backends: ``backend="python"`` (default) probes the Position Index
+profile by profile; ``backend="numpy"`` slides the whole Neighbor List
+at once - window w's events are the aligned pairs
+``(entries[:-w], entries[w:])`` - and scores them in one grouped array
+pass (:mod:`repro.engine.similarity`).  Same stream either way.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from typing import TYPE_CHECKING, Iterator, Sequence
 
 from repro.core.comparisons import Comparison, ComparisonList
 from repro.core.profiles import ERType, ProfileStore
@@ -21,6 +27,10 @@ from repro.neighborlist.neighbor_list import NeighborList
 from repro.neighborlist.position_index import PositionIndex
 from repro.neighborlist.rcf import NeighborWeighting, make_neighbor_weighting
 from repro.progressive.base import ProgressiveMethod, register_method
+from repro.registry import backends
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.similarity import ArrayPSNCore
 
 
 class _SimilarityBase(ProgressiveMethod):
@@ -33,6 +43,7 @@ class _SimilarityBase(ProgressiveMethod):
         weighting: str | NeighborWeighting = "RCF",
         tie_order: str = "random",
         seed: int | None = 0,
+        backend: str = "python",
     ) -> None:
         super().__init__(store)
         self.tokenizer = tokenizer
@@ -41,11 +52,13 @@ class _SimilarityBase(ProgressiveMethod):
             if isinstance(weighting, NeighborWeighting)
             else make_neighbor_weighting(weighting)
         )
+        self.backend = backends.build(backend).require()
         self.tie_order = tie_order
         self.seed = seed
         self.neighbor_list: NeighborList | None = None
         self.position_index: PositionIndex | None = None
         self._scan_ids: list[int] = []
+        self._core: "ArrayPSNCore | None" = None
 
     def _build_structures(self) -> None:
         self.neighbor_list = NeighborList.schema_agnostic(
@@ -54,6 +67,13 @@ class _SimilarityBase(ProgressiveMethod):
             tie_order=self.tie_order,
             seed=self.seed,
         )
+        if self.backend.vectorized:
+            from repro.engine.similarity import ArrayPSNCore
+
+            core = ArrayPSNCore(self.neighbor_list, self.store, self.weighting)
+            self._core = core
+            self.position_index = core.position_index  # type: ignore[assignment]
+            return
         self.position_index = PositionIndex(self.neighbor_list)
         # Dirty ER counts each pair from the larger id's side (the paper's
         # "j < i" check); Clean-clean iterates source-0 profiles and admits
@@ -126,6 +146,9 @@ class LSPSN(_SimilarityBase):
     max_window:
         Optional window cap; None grows the window to the list size
         (Algorithm 2's termination condition).
+    backend:
+        Execution backend: ``"python"`` (reference) or ``"numpy"``
+        (array window kernels, requires the ``repro[speed]`` extra).
     """
 
     name = "LS-PSN"
@@ -138,8 +161,9 @@ class LSPSN(_SimilarityBase):
         tie_order: str = "random",
         seed: int | None = 0,
         max_window: int | None = None,
+        backend: str = "python",
     ) -> None:
-        super().__init__(store, tokenizer, weighting, tie_order, seed)
+        super().__init__(store, tokenizer, weighting, tie_order, seed, backend)
         self.max_window = max_window
 
     def _setup(self) -> None:
@@ -147,6 +171,8 @@ class LSPSN(_SimilarityBase):
 
     def window_comparisons(self, window: int) -> ComparisonList:
         """All weighted comparisons of one window size (Alg. 1 lines 5-20)."""
+        if self._core is not None:
+            return ComparisonList(self._core.window_comparisons((window,)))
         comparisons = ComparisonList()
         for profile_id in self._scan_ids:
             frequency = self._neighbor_frequencies(profile_id, (window,))
@@ -157,5 +183,9 @@ class LSPSN(_SimilarityBase):
         assert self.neighbor_list is not None
         size = len(self.neighbor_list)
         limit = size if self.max_window is None else min(size, self.max_window + 1)
+        if self._core is not None:
+            for window in range(1, limit):
+                yield from self._core.window_comparisons((window,))
+            return
         for window in range(1, limit):
             yield from self.window_comparisons(window).drain()

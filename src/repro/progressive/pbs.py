@@ -6,11 +6,18 @@ non-decreasing cardinality (small, distinctive blocks first - block weight
 their Blocking Graph edge weight.  Repeats are detected with the **LeCoBI**
 condition on the Profile Index: a comparison is new in block b_k iff k is
 the least common block id of its two profiles.
+
+Backends: ``backend="python"`` (default) runs the reference per-pair
+merges; ``backend="numpy"`` enumerates all block comparisons as flat
+arrays once, turns LeCoBI into one stable argsort over canonical pair
+keys and resolves pair weights with a single ``searchsorted`` into the
+materialized Blocking Graph (:mod:`repro.engine.equality`) - same
+stream, measured multiples faster.
 """
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from repro.blocking.base import BlockCollection
 from repro.blocking.scheduling import block_scheduling
@@ -21,6 +28,10 @@ from repro.core.tokenization import DEFAULT_TOKENIZER, Tokenizer
 from repro.metablocking.profile_index import ProfileIndex
 from repro.metablocking.weights import WeightingScheme, make_scheme
 from repro.progressive.base import ProgressiveMethod, register_method
+from repro.registry import backends
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.equality import ArrayPBSCore
 
 
 @register_method("PBS")
@@ -40,6 +51,10 @@ class PBS(ProgressiveMethod):
         Tokenizer for the default workflow (ignored when ``blocks`` given).
     purge_ratio, filter_ratio:
         Workflow knobs exposed for the ablation benches.
+    backend:
+        Execution backend: ``"python"`` (reference) or ``"numpy"`` (CSR
+        engine, requires the ``repro[speed]`` extra); same stream either
+        way.
     """
 
     name = "PBS"
@@ -52,9 +67,11 @@ class PBS(ProgressiveMethod):
         tokenizer: Tokenizer = DEFAULT_TOKENIZER,
         purge_ratio: float | None = 0.1,
         filter_ratio: float | None = 0.8,
+        backend: str = "python",
     ) -> None:
         super().__init__(store)
         self.weighting_name = weighting
+        self.backend = backends.build(backend).require()
         self._input_blocks = blocks
         self.tokenizer = tokenizer
         self.purge_ratio = purge_ratio
@@ -62,6 +79,7 @@ class PBS(ProgressiveMethod):
         self.scheduled: BlockCollection | None = None
         self.profile_index: ProfileIndex | None = None
         self.scheme: WeightingScheme | None = None
+        self._core: "ArrayPBSCore | None" = None
 
     def _setup(self) -> None:
         blocks = self._input_blocks
@@ -73,6 +91,16 @@ class PBS(ProgressiveMethod):
                 filter_ratio=self.filter_ratio,
             )
         self.scheduled = block_scheduling(blocks)
+        if self.backend.vectorized:
+            from repro.engine.equality import ArrayPBSCore
+            from repro.engine.weights import ArrayBlockingGraph
+
+            index = self.backend.profile_index(self.scheduled)
+            graph = ArrayBlockingGraph(index, self.weighting_name)
+            self._core = ArrayPBSCore(index, graph)
+            self.profile_index = index  # type: ignore[assignment]
+            self.scheme = graph  # type: ignore[assignment]
+            return
         self.profile_index = ProfileIndex(self.scheduled)
         self.scheme = make_scheme(self.weighting_name, self.profile_index)
 
@@ -83,6 +111,8 @@ class PBS(ProgressiveMethod):
         Blocking Graph edge weight of their pair.
         """
         assert self.scheduled is not None
+        if self._core is not None:
+            return ComparisonList(self._core.block_comparisons(block_id))
         assert self.profile_index is not None and self.scheme is not None
         block = self.scheduled[block_id]
         er_type = self.store.er_type
@@ -98,5 +128,8 @@ class PBS(ProgressiveMethod):
 
     def _emit(self) -> Iterator[Comparison]:
         assert self.scheduled is not None
+        if self._core is not None:
+            yield from self._core.emit()
+            return
         for block_id in range(len(self.scheduled)):
             yield from self.block_comparisons(block_id).drain()

@@ -21,11 +21,16 @@ emission calls (required by the paper's Figure 8 walk-through), and K_max
 is not specified in the paper - we default to 10 and expose it.  The
 optional ``exhaustive`` flag appends a tail phase draining every remaining
 distinct comparison so that eventual quality equals batch quality.
+
+Backends: ``backend="python"`` (default) runs the reference dict/heap
+implementation; ``backend="numpy"`` runs the same two phases on the CSR
+engine (:mod:`repro.engine.equality`) - per-neighborhood array passes and
+``argpartition`` top-k - emitting a bit-identical comparison stream.
 """
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from repro.blocking.base import BlockCollection
 from repro.blocking.scheduling import block_scheduling
@@ -36,6 +41,10 @@ from repro.core.tokenization import DEFAULT_TOKENIZER, Tokenizer
 from repro.metablocking.profile_index import ProfileIndex
 from repro.metablocking.weights import WeightingScheme, make_scheme
 from repro.progressive.base import ProgressiveMethod, register_method
+from repro.registry import backends
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.equality import ArrayPPSCore
 
 
 @register_method("PPS")
@@ -63,6 +72,10 @@ class PPS(ProgressiveMethod):
     exhaustive:
         Append a tail draining all remaining distinct comparisons, making
         the eventual output identical to batch ER on the same blocks.
+    backend:
+        Execution backend: ``"python"`` (reference) or ``"numpy"`` (CSR
+        engine, requires the ``repro[speed]`` extra); same stream either
+        way.
     """
 
     name = "PPS"
@@ -77,11 +90,13 @@ class PPS(ProgressiveMethod):
         purge_ratio: float | None = 0.1,
         filter_ratio: float | None = 0.8,
         exhaustive: bool = False,
+        backend: str = "python",
     ) -> None:
         if k_max is not None and k_max < 1:
             raise ValueError("k_max must be positive")
         super().__init__(store)
         self.weighting_name = weighting
+        self.backend = backends.build(backend).require()
         self.k_max = k_max
         self._input_blocks = blocks
         self.tokenizer = tokenizer
@@ -92,6 +107,7 @@ class PPS(ProgressiveMethod):
         self.scheme: WeightingScheme | None = None
         self.sorted_profile_list: list[tuple[int, float]] = []
         self._initial_comparisons: ComparisonList | None = None
+        self._core: "ArrayPPSCore | None" = None
 
     # -- shared neighborhood scan ---------------------------------------------
 
@@ -129,6 +145,9 @@ class PPS(ProgressiveMethod):
         # Scheduling keeps block ids aligned with PBS (and LeCoBI usable by
         # the exhaustive tail); PPS itself only needs cardinalities.
         scheduled = block_scheduling(blocks)
+        if self.backend.vectorized:
+            self._setup_array(scheduled)
+            return
         self.profile_index = ProfileIndex(scheduled)
         self.scheme = make_scheme(self.weighting_name, self.profile_index)
         if self.k_max is None:
@@ -173,12 +192,29 @@ class PPS(ProgressiveMethod):
         )
         self._initial_comparisons = initial
 
+    def _setup_array(self, scheduled: BlockCollection) -> None:
+        """Initialization on the CSR engine (same phases, array passes)."""
+        from repro.engine.equality import ArrayPPSCore
+
+        core = ArrayPPSCore(scheduled, self.weighting_name, self.k_max)
+        self._core = core
+        self.k_max = core.k_max
+        # API-compatible introspection: the CSR index and a scalar-capable
+        # weighting view (the graph) take the reference structures' slots.
+        self.profile_index = core.index  # type: ignore[assignment]
+        self.scheme = core.graph  # type: ignore[assignment]
+        self.sorted_profile_list, self._initial_comparisons = core.init_lists()
+
     # -- emission phase (Algorithm 6) ---------------------------------------------
 
     def profile_comparisons(
         self, profile_id: int, checked: set[int]
     ) -> list[Comparison]:
         """The K_max best comparisons of one scheduled profile."""
+        assert self.k_max is not None
+        if self._core is not None:
+            self._core.sync_checked(checked)
+            return self._core.profile_topk(profile_id, self.k_max)
         assert self.scheme is not None
         raw_weights = self._neighborhood_weights(profile_id, skip=checked)
         stack = SortedStack()
@@ -198,13 +234,22 @@ class PPS(ProgressiveMethod):
                 emitted.add(comparison.pair)
             yield comparison
 
-        checked: set[int] = set()
-        for profile_id, _likelihood in self.sorted_profile_list:
-            checked.add(profile_id)
-            for comparison in self.profile_comparisons(profile_id, checked):
+        if self._core is not None:
+            # The whole schedule precomputed in one array pass; identical
+            # stream to the per-profile loop below (parity-tested).
+            schedule = [pid for pid, _likelihood in self.sorted_profile_list]
+            for comparison in self._core.emit_schedule(schedule, self.k_max):
                 if emitted is not None:
                     emitted.add(comparison.pair)
                 yield comparison
+        else:
+            checked: set[int] = set()
+            for profile_id, _likelihood in self.sorted_profile_list:
+                checked.add(profile_id)
+                for comparison in self.profile_comparisons(profile_id, checked):
+                    if emitted is not None:
+                        emitted.add(comparison.pair)
+                    yield comparison
 
         if emitted is not None:
             yield from self._exhaustive_tail(emitted)

@@ -246,6 +246,10 @@ def _load_matchers() -> None:
     import repro.matching  # noqa: F401  (registers jaccard/edit/oracle)
 
 
+def _load_backends() -> None:
+    import repro.engine  # noqa: F401  (registers python/numpy backends)
+
+
 progressive_methods = ComponentRegistry(
     "progressive method", loader=_load_progressive_methods
 )
@@ -256,12 +260,14 @@ weighting_schemes = ComponentRegistry(
     "weighting scheme", loader=_load_weighting_schemes
 )
 matchers = ComponentRegistry("match function", loader=_load_matchers)
+backends = ComponentRegistry("backend", loader=_load_backends)
 
 _REGISTRIES: dict[str, ComponentRegistry] = {
     "method": progressive_methods,
     "blocking": blocking_schemes,
     "weighting": weighting_schemes,
     "matcher": matchers,
+    "backend": backends,
 }
 
 

@@ -1,0 +1,53 @@
+"""Exact top-k selection vs the SortedStack reference."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.core.comparisons import Comparison, SortedStack  # noqa: E402
+from repro.engine.topk import sort_pairs_descending, top_k_pairs  # noqa: E402
+
+
+def reference_topk(i, j, w, k):
+    stack = SortedStack()
+    for pi, pj, pw in zip(i, j, w):
+        stack.push(Comparison(pi, pj, pw))
+        if len(stack) > k:
+            stack.pop()
+    return stack.drain_descending()
+
+
+@pytest.mark.parametrize("k", (1, 3, 7, 50, 500))
+@pytest.mark.parametrize("seed", (0, 1, 2))
+def test_top_k_matches_sorted_stack(k, seed):
+    rng = random.Random(seed)
+    m = 200
+    i = [rng.randrange(50) for _ in range(m)]
+    j = [value + 1 + rng.randrange(50) for value in i]
+    # Coarse weights force plenty of boundary ties.
+    w = [rng.randrange(8) / 4.0 for _ in range(m)]
+
+    ia, ja, wa = (np.array(i), np.array(j), np.array(w))
+    order = top_k_pairs(ia, ja, wa, k)
+    got = list(zip(ia[order].tolist(), ja[order].tolist(), wa[order].tolist()))
+    want = [(c.i, c.j, c.weight) for c in reference_topk(i, j, w, k)]
+    assert got == want
+
+
+def test_sort_pairs_descending_total_order():
+    i = np.array([1, 0, 0, 2])
+    j = np.array([5, 9, 2, 3])
+    w = np.array([1.0, 1.0, 1.0, 2.0])
+    order = sort_pairs_descending(i, j, w)
+    ranked = list(zip(i[order].tolist(), j[order].tolist()))
+    assert ranked == [(2, 3), (0, 2), (0, 9), (1, 5)]
+
+
+def test_top_k_zero_and_overlong():
+    i = np.array([0, 1]); j = np.array([2, 3]); w = np.array([0.5, 1.5])
+    assert top_k_pairs(i, j, w, 0).size == 0
+    assert top_k_pairs(i, j, w, 10).tolist() == [1, 0]
