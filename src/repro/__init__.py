@@ -46,6 +46,17 @@ Speed - the array engine (optional ``repro[speed]`` extra)::
 indexes with vectorized weighting (:mod:`repro.engine`), emitting the
 *identical* comparison stream measured multiples faster; the default
 ``backend="python"`` remains the dependency-free reference.
+
+Online - incremental resolution (:mod:`repro.incremental`)::
+
+    session = ERPipeline().incremental().fit(existing_records)
+    session.add_profiles(new_records)      # ranked new comparisons
+    session.resolve_one(record)            # ingest-and-rank one record
+    session.resolve_one(record, ingest=False)   # read-only probe
+
+Profiles ingested after ``fit`` are resolved against everything already
+indexed via delta updates (no rebuilds); ingesting a dataset in chunks
+provably emits the same pair set as one batch fit (docs/incremental.md).
 """
 
 from repro.blocking import (
@@ -79,6 +90,11 @@ from repro.evaluation import (
     run_progressive,
     timed_run,
 )
+from repro.incremental import (
+    IncrementalResolver,
+    MutableProfileStore,
+    OnlineRanked,
+)
 from repro.matching import (
     EditDistanceMatcher,
     JaccardMatcher,
@@ -94,6 +110,7 @@ from repro.pipeline import (
     BlockingConfig,
     BudgetConfig,
     ERPipeline,
+    IncrementalConfig,
     MatcherConfig,
     MetaBlockingConfig,
     MethodConfig,
@@ -117,7 +134,7 @@ from repro.progressive import (
 )
 from repro.registry import ComponentRegistry, get_registry
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     # pipeline API
@@ -132,6 +149,11 @@ __all__ = [
     "MethodConfig",
     "MatcherConfig",
     "BudgetConfig",
+    "IncrementalConfig",
+    # incremental / online resolution
+    "IncrementalResolver",
+    "MutableProfileStore",
+    "OnlineRanked",
     # registry
     "ComponentRegistry",
     "get_registry",

@@ -45,6 +45,20 @@ def sort_pairs_descending(
     return np.lexsort((j, i, -weights))
 
 
+def ranked_edges(graph) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Every distinct edge of an ``ArrayBlockingGraph``, ranked.
+
+    The graph's upper-triangle edge set (each valid pair once, owned by
+    its smaller id - matching the reference enumeration) ordered by
+    ``(-weight, i, j)``.  This is the whole emission of the ONLINE
+    method on the numpy backend: the graph's cached edge extraction
+    plus one ``lexsort``.
+    """
+    i, j, weights = graph.edges()
+    order = sort_pairs_descending(i, j, weights)
+    return i[order], j[order], weights[order]
+
+
 def top_k_pairs(
     i: np.ndarray, j: np.ndarray, weights: np.ndarray, k: int
 ) -> np.ndarray:

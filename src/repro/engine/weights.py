@@ -370,6 +370,18 @@ class ArrayBlockingGraph:
         self._edge_keys = owners[upper] * n + self.neighbors[upper]
         self._edge_weights = self.weights[upper]
 
+    def edges(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Every distinct valid pair once (``i < j``) with its weight.
+
+        Derived from the cached edge lookup, so a graph serving both
+        whole-graph emission and per-pair queries builds the extraction
+        only once.  Keys are row-major over ascending rows, hence sorted.
+        """
+        self._ensure_edge_lookup()
+        assert self._edge_keys is not None and self._edge_weights is not None
+        n = self.index.n_profiles
+        return self._edge_keys // n, self._edge_keys % n, self._edge_weights
+
     def edge_weights_for(self, pair_keys: np.ndarray) -> np.ndarray:
         """Weights for canonical pair keys ``i * n + j`` (0.0 if absent).
 

@@ -1,0 +1,325 @@
+"""The :class:`IncrementalResolver`: an online progressive-ER session.
+
+``ERPipeline().incremental().fit(data)`` returns this
+:class:`~repro.pipeline.resolver.Resolver` subclass.  The batch Resolver
+contract (streaming, budgets, recall bookkeeping, ``evaluate()``) keeps
+working; on top of it profiles can be *ingested* after ``fit``:
+
+* :meth:`add_profiles` appends a batch to the (mutable) store, delta-
+  updates the token index, and emits the comparisons *introduced by the
+  batch* - only pairs involving a new profile - ranked best-first by the
+  configured weighting scheme;
+* :meth:`resolve_one` is the single-record form; with ``ingest=False``
+  it is a read-only probe that scores a record against the corpus with
+  exact as-if-ingested statistics and rolls the index back;
+* :meth:`stream` (inherited) re-ranks the *current* corpus: it lazily
+  rebuilds the ONLINE method over a snapshot of the live index whenever
+  a previous ingestion made the last build stale - on the numpy backend
+  this is where the CSR arrays are re-materialized.
+
+The parity contract with batch resolution (property-tested per backend
+and ER type): ingesting a dataset in any chunking emits exactly the
+pair set of one batch ONLINE fit over the union, and a final
+``stream()`` replays the batch emission order bit-identically.
+
+Incremental sessions use the ONLINE emission model; the configured
+progressive method (``.method(...)``) only applies to batch sessions.
+Block Filtering - a batch-global re-ranking - is likewise batch-only;
+Block Purging is available as a query-time bound via
+``.incremental(purge=...)``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Sequence
+
+from repro.core.comparisons import Comparison
+from repro.core.ground_truth import GroundTruth
+from repro.core.profiles import EntityProfile, ProfileStore
+from repro.core.tokenization import DEFAULT_TOKENIZER
+from repro.incremental.index import IncrementalTokenIndex
+from repro.incremental.store import MutableProfileStore
+from repro.incremental.weights import IncrementalWeighter
+from repro.pipeline.resolver import Resolver
+from repro.progressive.base import ProgressiveMethod
+from repro.registry import backends
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.incremental.neighbors import IncrementalNeighborIndex
+    from repro.pipeline.config import PipelineConfig
+
+
+class IncrementalResolver(Resolver):
+    """A progressive ER session whose corpus can grow after ``fit``.
+
+    Built by :meth:`repro.pipeline.ERPipeline.fit` when the pipeline has
+    an ``.incremental()`` stage; not usually constructed directly.  The
+    profile store is upgraded to a :class:`MutableProfileStore` and every
+    derived structure subscribes to its ingestion feed.
+    """
+
+    def __init__(
+        self,
+        config: "PipelineConfig",
+        store: ProfileStore,
+        ground_truth: GroundTruth | None = None,
+        dataset_name: str = "",
+        psn_key: Callable | None = None,
+    ) -> None:
+        store = MutableProfileStore.from_store(store)
+        super().__init__(
+            config,
+            store,
+            ground_truth=ground_truth,
+            dataset_name=dataset_name,
+            psn_key=psn_key,
+        )
+        spec = config.incremental
+        assert spec is not None, "IncrementalResolver requires .incremental()"
+        from repro.registry import normalize
+
+        blocking = config.blocking
+        if normalize(blocking.scheme) != "TOKEN" or blocking.params:
+            # Candidate generation in an incremental session is the live
+            # token index; silently discarding a configured scheme would
+            # replace the user's blocking strategy without notice.
+            raise ValueError(
+                "incremental sessions use the live Token Blocking index; "
+                f"the configured blocking scheme {blocking.scheme!r} "
+                f"(params {blocking.params!r}) has no incremental "
+                "counterpart - drop the .blocking(...) stage or resolve "
+                "in batch mode"
+            )
+        if normalize(config.method.name) not in ("PPS", "ONLINE") or (
+            config.method.params
+        ):
+            # Same rationale for the emission model: ONLINE is the only
+            # incremental one, and it takes no per-method params here
+            # (blocks/weighting/backend come from the live session).
+            # The default method spec ("PPS" with no params, i.e. no
+            # .method() call) is accepted as "unconfigured".
+            raise ValueError(
+                "incremental sessions emit in the ONLINE (globally "
+                f"ranked) model; the configured method "
+                f"{config.method.name!r} (params "
+                f"{config.method.params!r}) only applies to batch "
+                "sessions - drop the .method(...) stage or resolve in "
+                "batch mode"
+            )
+        # Purging precedence: the session knob, else the blocking
+        # stage's ratio (applied query-time against the live corpus
+        # size).  Filtering is batch-global and has no counterpart.
+        purge_ratio = (
+            spec.purge_ratio
+            if spec.purge_ratio is not None
+            else blocking.purge_ratio
+        )
+        self._index = IncrementalTokenIndex(store, tokenizer=DEFAULT_TOKENIZER)
+        self._weighter = IncrementalWeighter(
+            self._index,
+            weighting=config.meta.weighting,
+            purge_ratio=purge_ratio,
+        )
+        if backends.build(config.backend).require().vectorized:
+            from repro.incremental.engine import ArrayDeltaScorer
+
+            self._scorer = ArrayDeltaScorer(
+                self._index,
+                weighting=config.meta.weighting,
+                purge_ratio=purge_ratio,
+                rebuild_threshold=spec.rebuild_threshold,
+            )
+        else:
+            self._scorer = self._weighter
+        self._neighbors: "IncrementalNeighborIndex | None" = None
+        self._stream_generation = -1
+        store.subscribe(self._on_ingest)
+
+    # -- ingestion feed -------------------------------------------------------
+
+    def _on_ingest(self, profiles: Sequence[EntityProfile]) -> None:
+        """Store listener: keep every derived structure consistent."""
+        self._index.add_profiles(profiles)
+        # A drained stream is no longer drained: the arrivals add
+        # comparisons, and the next stream()/next_batch() re-ranks.
+        self._exhausted = False
+        if self._scorer is not self._weighter:
+            self._scorer.notify(
+                token
+                for profile in profiles
+                for token in self._index.tokens_of(profile.profile_id)
+            )
+        if self._neighbors is not None:
+            self._neighbors.add_profiles(profiles)
+
+    # -- online resolution ----------------------------------------------------
+
+    def add_profiles(
+        self,
+        items: Iterable[
+            "EntityProfile | Mapping[str, object] | Iterable[tuple[str, object]]"
+        ],
+        sources: Iterable[int] | None = None,
+    ) -> list[Comparison]:
+        """Ingest a batch and emit its new comparisons, ranked best-first.
+
+        Only comparisons involving at least one profile of the batch are
+        emitted (pairs between pre-existing profiles were emitted when
+        the later of the two arrived).  Emissions run through the
+        session's budget and recall bookkeeping exactly like streamed
+        ones; an empty batch emits nothing.
+        """
+        store: MutableProfileStore = self.store  # type: ignore[assignment]
+        profiles = store.add_profiles(items, sources=sources)
+        if not profiles:
+            return []
+        candidates = self._index.candidate_pairs(
+            [profile.profile_id for profile in profiles],
+            self._weighter.purge_limit(),
+        )
+        return self._emit_ranked(self._scorer.score(candidates))
+
+    def resolve_one(
+        self,
+        item: "EntityProfile | Mapping[str, object] | Iterable[tuple[str, object]]",
+        source: int | None = None,
+        ingest: bool = True,
+    ) -> list[Comparison]:
+        """Resolve a single record against the current corpus.
+
+        With ``ingest=True`` (default) the record joins the corpus and
+        its ranked comparisons are emitted - the singleton form of
+        :meth:`add_profiles`.  With ``ingest=False`` the call is a
+        read-only probe: the record is scored with exact as-if-ingested
+        statistics (the index is temporarily updated and rolled back),
+        nothing is stored, emitted or counted against budgets.
+        """
+        if ingest:
+            return self.add_profiles(
+                [item], sources=None if source is None else [source]
+            )
+        probe = self._coerce_probe(item, source)
+        self._weighter.size_offset = 1  # as-if corpus size for purging
+        journal = self._index.probe_enter(probe)
+        self._weighter.invalidate()  # stats must see the probe...
+        try:
+            candidates = self._index.probe_pairs(
+                probe.profile_id, probe.source, self._weighter.purge_limit()
+            )
+            # The pure-Python weighter scores probes on every backend:
+            # a single profile's candidates do not amortize an array
+            # refresh that would be rolled back right after (weights are
+            # bit-identical across scorers by construction).
+            return self._weighter.score(candidates)
+        finally:
+            self._index.probe_exit(probe, journal)
+            self._weighter.invalidate()  # ...and forget it afterwards
+            self._weighter.size_offset = 0
+
+    def _coerce_probe(
+        self,
+        item: "EntityProfile | Mapping[str, object] | Iterable[tuple[str, object]]",
+        source: int | None,
+    ) -> EntityProfile:
+        # The store's ingestion coercion (id re-assignment, source
+        # override, source validation) with the id a real ingest would
+        # get, so probe and ingest accept exactly the same input.
+        store: MutableProfileStore = self.store  # type: ignore[assignment]
+        return store._coerce(len(store), item, source)
+
+    def _emit_ranked(self, ranked: list[Comparison]) -> list[Comparison]:
+        """Run ingestion emissions through the shared session bookkeeping."""
+        if self._started_at is None:
+            self._started_at = time.perf_counter()
+        if self.matcher is None and self.config.matcher is not None:
+            self.matcher = self._build_matcher()
+        emitted: list[Comparison] = []
+        for comparison in ranked:
+            if self._budget_reached():
+                break
+            self._emitted += 1
+            self._record(comparison)
+            emitted.append(comparison)
+        return emitted
+
+    # -- full re-ranking (the batch bridge) -----------------------------------
+
+    @property
+    def blocks(self):
+        """A batch view of the live index (rebuilt on access)."""
+        return self._index.snapshot_blocks(self._weighter.purge_limit())
+
+    def build_method(self) -> ProgressiveMethod:
+        """The ONLINE method over a snapshot of the live index.
+
+        Incremental sessions always emit in the ONLINE (globally ranked)
+        model; the configured ``.method(...)`` applies to batch sessions
+        only.  On the numpy backend this build is where the CSR arrays
+        are (re-)materialized from the current postings.
+        """
+        from repro.incremental.online import OnlineRanked
+
+        return OnlineRanked(
+            self.store,
+            weighting=self.config.meta.weighting,
+            blocks=self.blocks,
+            backend=self.config.backend,
+        )
+
+    def initialize(self) -> "IncrementalResolver":
+        """(Re)build the streaming emitter when ingestion made it stale."""
+        if (
+            self.method is not None
+            and self._stream_generation != self._index.generation
+        ):
+            self.method = None
+            self._emitter = None
+        if self.method is None:
+            self._stream_generation = self._index.generation
+        super().initialize()
+        return self
+
+    def reset(self) -> "IncrementalResolver":
+        """Restart emission over the current corpus.
+
+        Marks the method the base ``reset`` rebuilds as fresh for the
+        current index generation, so the next ``stream()`` does not
+        discard it and rebuild a second time.
+        """
+        self._stream_generation = self._index.generation
+        super().reset()
+        return self
+
+    # -- incremental structures (introspection) -------------------------------
+
+    @property
+    def index(self) -> IncrementalTokenIndex:
+        """The live delta-maintained token index."""
+        return self._index
+
+    @property
+    def neighbor_index(self) -> "IncrementalNeighborIndex":
+        """Delta-maintained Neighbor List / Position Index (lazy).
+
+        Built from the current corpus on first access, then kept in sync
+        with every subsequent ingestion - the substrate for similarity-
+        based (sorted-neighborhood) workloads over a live corpus.
+        """
+        if self._neighbors is None:
+            from repro.incremental.neighbors import IncrementalNeighborIndex
+
+            spec = self.config.incremental
+            assert spec is not None
+            self._neighbors = IncrementalNeighborIndex(
+                self.store,
+                backend=self.config.backend,
+                rebuild_threshold=spec.rebuild_threshold,
+            )
+        return self._neighbors
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"IncrementalResolver(|P|={len(self.store)}, "
+            f"emitted={self._emitted}, generation={self._index.generation})"
+        )

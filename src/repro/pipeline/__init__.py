@@ -11,6 +11,7 @@ from repro.pipeline.builder import ERPipeline
 from repro.pipeline.config import (
     BlockingConfig,
     BudgetConfig,
+    IncrementalConfig,
     MatcherConfig,
     MetaBlockingConfig,
     MethodConfig,
@@ -31,4 +32,5 @@ __all__ = [
     "MethodConfig",
     "MatcherConfig",
     "BudgetConfig",
+    "IncrementalConfig",
 ]

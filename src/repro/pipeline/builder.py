@@ -30,6 +30,7 @@ from repro.core.profiles import ProfileStore
 from repro.pipeline.config import (
     BlockingConfig,
     BudgetConfig,
+    IncrementalConfig,
     MatcherConfig,
     MetaBlockingConfig,
     MethodConfig,
@@ -54,6 +55,28 @@ class ERPipeline:
     Stage methods mutate the pipeline and return it, so calls chain;
     :meth:`clone` forks a spec for parameter sweeps.  :meth:`fit` binds
     the spec to data and returns a live :class:`Resolver` session.
+
+    Examples
+    --------
+    Build a spec, round-trip it through a plain dict, bind it to data:
+
+    >>> from repro import ERPipeline
+    >>> pipeline = ERPipeline().blocking("token", purge=None).method("PPS", k_max=5)
+    >>> pipeline.to_dict()["method"]
+    {'name': 'PPS', 'params': {'k_max': 5}}
+    >>> ERPipeline.from_dict(pipeline.to_dict()).config.method.name
+    'PPS'
+    >>> resolver = pipeline.method("ONLINE").fit(
+    ...     [{"name": "Carl White NY"}, {"name": "Karl White NY"}]
+    ... )
+    >>> [comparison.pair for comparison in resolver.stream()]
+    [(0, 1)]
+
+    Component names go through the shared registry, so any spelling
+    resolves and typos fail fast with the available options:
+
+    >>> ERPipeline().method("sa_psn").config.method.name
+    'SA-PSN'
     """
 
     def __init__(self, config: PipelineConfig | None = None) -> None:
@@ -132,6 +155,43 @@ class ERPipeline:
         self._config.backend = backends.canonical(name)
         return self
 
+    def incremental(
+        self,
+        enabled: bool = True,
+        *,
+        rebuild_threshold: float = 0.25,
+        purge: float | None = None,
+    ) -> "ERPipeline":
+        """Make ``fit`` return a live, ingestible session.
+
+        With this stage, :meth:`fit` returns an
+        :class:`~repro.incremental.resolver.IncrementalResolver`:
+        profiles added after ``fit`` (``add_profiles``/``resolve_one``)
+        are resolved against everything already indexed, emitting only
+        the comparisons they introduce, ranked by the ``.meta(...)``
+        weighting scheme.  Works on both backends; see
+        :mod:`repro.incremental` for the batch-parity contract.
+
+        ``rebuild_threshold`` tunes when the lazy refresh of delta
+        structures (numpy arrays, Neighbor List) re-materializes instead
+        of patching; ``purge`` is the query-time Block Purging ratio -
+        ``None`` (default) inherits the ``.blocking(...)`` stage's
+        ``purge`` ratio.  ``enabled=False`` removes the stage.
+
+        Incremental candidate generation is the live Token Blocking
+        index and emission is the ONLINE (globally ranked) model:
+        ``fit`` rejects a ``.blocking(...)`` stage configuring a
+        different scheme and a ``.method(...)`` stage other than ONLINE.
+        Block Filtering (``filter_ratio``) is batch-global and does not
+        apply to incremental sessions.
+        """
+        self._config.incremental = (
+            IncrementalConfig(rebuild_threshold=rebuild_threshold, purge_ratio=purge)
+            if enabled
+            else None
+        )
+        return self
+
     # -- spec round-trip ------------------------------------------------------
 
     @property
@@ -168,6 +228,16 @@ class ERPipeline:
         records).
         """
         store, truth, name, psn_key = _coerce_data(data, ground_truth)
+        if self._config.incremental is not None:
+            from repro.incremental.resolver import IncrementalResolver
+
+            return IncrementalResolver(
+                _snapshot(self._config),
+                store,
+                ground_truth=truth,
+                dataset_name=name,
+                psn_key=psn_key,
+            )
         return Resolver(
             _snapshot(self._config),
             store,
@@ -206,6 +276,11 @@ def _snapshot(config: PipelineConfig) -> PipelineConfig:
         matcher=None if config.matcher is None else _copy_params(config.matcher),
         budget=dataclasses.replace(config.budget),
         backend=config.backend,
+        incremental=(
+            None
+            if config.incremental is None
+            else dataclasses.replace(config.incremental)
+        ),
     )
 
 

@@ -157,6 +157,42 @@ class BudgetConfig:
 
 
 @dataclass
+class IncrementalConfig:
+    """Optional stage: resolve online, ingesting profiles after ``fit``.
+
+    When present, ``fit`` returns an
+    :class:`~repro.incremental.resolver.IncrementalResolver` whose
+    :meth:`add_profiles` / :meth:`resolve_one` emit the comparisons each
+    arrival introduces (see :mod:`repro.incremental`).
+
+    ``rebuild_threshold`` governs the delta structures (numpy arrays,
+    the incremental Neighbor List): above this changed fraction a lazy
+    refresh re-materializes instead of patching.  ``purge_ratio`` is the
+    query-time Block Purging bound evaluated against the current corpus
+    size; ``None`` inherits the blocking stage's ``purge_ratio`` (so
+    disable purging via ``.blocking("token", purge=None)``).  Block
+    Filtering is batch-global and does not apply to incremental
+    sessions.
+    """
+
+    rebuild_threshold: float = 0.25
+    purge_ratio: float | None = None
+
+    def __post_init__(self) -> None:
+        from repro.incremental.index import check_rebuild_threshold
+
+        check_rebuild_threshold(self.rebuild_threshold)
+        _check_ratio("purge_ratio", self.purge_ratio)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "IncrementalConfig":
+        _reject_unknown_keys(
+            "incremental", data, ("rebuild_threshold", "purge_ratio")
+        )
+        return cls(**dict(data))
+
+
+@dataclass
 class PipelineConfig:
     """The full pipeline spec: one dataclass per stage, dict round-trip.
 
@@ -174,6 +210,7 @@ class PipelineConfig:
     matcher: MatcherConfig | None = None
     budget: BudgetConfig = field(default_factory=BudgetConfig)
     backend: str = "python"
+    incremental: IncrementalConfig | None = None
 
     def __post_init__(self) -> None:
         self.backend = backends.canonical(self.backend)
@@ -187,6 +224,9 @@ class PipelineConfig:
             "matcher": None if self.matcher is None else asdict(self.matcher),
             "budget": asdict(self.budget),
             "backend": self.backend,
+            "incremental": (
+                None if self.incremental is None else asdict(self.incremental)
+            ),
         }
 
     @classmethod
@@ -194,9 +234,18 @@ class PipelineConfig:
         _reject_unknown_keys(
             "pipeline",
             data,
-            ("blocking", "meta", "method", "matcher", "budget", "backend"),
+            (
+                "blocking",
+                "meta",
+                "method",
+                "matcher",
+                "budget",
+                "backend",
+                "incremental",
+            ),
         )
         matcher = data.get("matcher")
+        incremental = data.get("incremental")
         return cls(
             blocking=BlockingConfig.from_dict(data.get("blocking", {})),
             meta=MetaBlockingConfig.from_dict(data.get("meta", {})),
@@ -204,4 +253,9 @@ class PipelineConfig:
             matcher=None if matcher is None else MatcherConfig.from_dict(matcher),
             budget=BudgetConfig.from_dict(data.get("budget", {})),
             backend=data.get("backend", "python"),
+            incremental=(
+                None
+                if incremental is None
+                else IncrementalConfig.from_dict(incremental)
+            ),
         )

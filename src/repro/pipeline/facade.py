@@ -87,6 +87,26 @@ def resolve(
         Emitted pairs in order, confirmed matches, recall and curve
         (when a ground truth is known), plus the live resolver for
         continued streaming or :meth:`Resolver.evaluate`.
+
+    Examples
+    --------
+    Plain records in, ranked pairs out - the duplicate pair surfaces
+    first, which is the point of progressive ER:
+
+    >>> from repro import resolve
+    >>> result = resolve(
+    ...     [
+    ...         {"name": "Carl White", "profession": "Tailor", "city": "NY"},
+    ...         {"about": "Carl_White", "livesIn": "NY", "workAs": "Tailor"},
+    ...         {"name": "Ellen White", "profession": "Teacher", "city": "ML"},
+    ...     ],
+    ...     method="PPS",
+    ...     purge=None,
+    ... )
+    >>> result.pairs[0].pair
+    (0, 1)
+    >>> result.emitted >= 1
+    True
     """
     pipeline = (
         ERPipeline()

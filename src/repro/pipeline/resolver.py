@@ -77,6 +77,30 @@ class Resolver:
         Schema-based blocking key, injected into methods that require a
         ``key_function`` (the PSN baseline) when the user did not supply
         one - this is how ``fit(dataset)`` makes PSN work out of the box.
+
+    Examples
+    --------
+    Streaming and batch pulls share one emitter and one budget:
+
+    >>> from repro import ERPipeline
+    >>> resolver = (
+    ...     ERPipeline()
+    ...     .blocking("token", purge=None)
+    ...     .method("ONLINE")
+    ...     .budget(comparisons=2)
+    ...     .fit([
+    ...         {"name": "Carl White", "city": "NY"},
+    ...         {"name": "Karl White", "city": "NY"},
+    ...         {"name": "Ellen White", "city": "ML"},
+    ...     ])
+    ... )
+    >>> [c.pair for c in resolver.next_batch(1)]
+    [(0, 1)]
+    >>> [c.pair for c in resolver.stream()]  # resumes, stops at budget
+    [(0, 2)]
+    >>> progress = resolver.progress()
+    >>> progress.emitted, progress.exhausted
+    (2, False)
     """
 
     def __init__(

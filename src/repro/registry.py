@@ -113,6 +113,18 @@ class ComponentRegistry:
         convention every component family in this codebase follows), then
         to ``__name__``.  Re-registering a name overwrites the previous
         entry, which is what user extensions and tests want.
+
+        Examples
+        --------
+        >>> registry = ComponentRegistry("demo component")
+        >>> @registry.register("My-Comp", aliases=("mc",))
+        ... class MyComp:
+        ...     def __init__(self, knob=1):
+        ...         self.knob = knob
+        >>> registry.canonical("my_comp"), registry.canonical("MC")
+        ('My-Comp', 'My-Comp')
+        >>> registry.build("mycomp", knob=2).knob
+        2
         """
         if factory is None and name is not None and not isinstance(name, str):
             # bare-decorator form: @registry.register (no parentheses)
@@ -231,6 +243,7 @@ class ComponentRegistry:
 
 
 def _load_progressive_methods() -> None:
+    import repro.incremental.online  # noqa: F401  (registers ONLINE)
     import repro.progressive  # noqa: F401  (registers the 7 methods)
 
 

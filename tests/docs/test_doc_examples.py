@@ -1,0 +1,43 @@
+"""Doctest every code example in README.md and docs/.
+
+The documentation is executable by contract: every ``>>>`` block in the
+markdown pages must run and produce the printed output, so examples can
+never silently rot.  CI additionally runs the same files through
+``pytest --doctest-glob`` in the docs job; this tier-1 runner keeps the
+guarantee on environments without the docs job (and without numpy - the
+documented examples deliberately use the dependency-free backend).
+"""
+
+from __future__ import annotations
+
+import doctest
+import pathlib
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+DOCUMENTS = sorted((REPO_ROOT / "docs").glob("*.md")) + [REPO_ROOT / "README.md"]
+
+
+def test_documentation_is_present():
+    """The acceptance floor: a README and a docs/ directory exist."""
+    assert (REPO_ROOT / "README.md").is_file()
+    names = {path.name for path in DOCUMENTS}
+    assert {
+        "architecture.md",
+        "api.md",
+        "benchmarks.md",
+        "incremental.md",
+        "migration.md",
+    } <= names
+
+
+@pytest.mark.parametrize("path", DOCUMENTS, ids=lambda path: path.name)
+def test_documentation_examples_run(path: pathlib.Path, monkeypatch):
+    # Examples reference repo-root files (e.g. BENCH_engine.json)
+    # relatively, so anchor the working directory.
+    monkeypatch.chdir(REPO_ROOT)
+    result = doctest.testfile(str(path), module_relative=False)
+    assert result.attempted > 0, f"{path.name} has no runnable examples"
+    assert result.failed == 0, f"{path.name}: {result.failed} failing examples"

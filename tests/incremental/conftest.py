@@ -1,0 +1,33 @@
+"""Shared fixtures for the incremental/online resolution suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.profiles import ProfileStore
+from repro.datasets import load_dataset
+from repro.engine import HAS_NUMPY
+
+#: Backends exercised by the parity suite (numpy only when installed).
+BACKENDS = ("python", "numpy") if HAS_NUMPY else ("python",)
+
+needs_numpy = pytest.mark.skipif(
+    not HAS_NUMPY, reason="numpy backend requires the repro[speed] extra"
+)
+
+
+@pytest.fixture(scope="session")
+def dirty_store() -> ProfileStore:
+    """A small deterministic Dirty-ER corpus (restaurant generator)."""
+    return load_dataset("restaurant", scale=0.15, seed=0).store
+
+
+@pytest.fixture(scope="session")
+def clean_clean_store(dirty_store: ProfileStore) -> ProfileStore:
+    """A Clean-clean corpus built from the same records, split in half."""
+    profiles = dirty_store.profiles
+    half = len(profiles) // 2
+    return ProfileStore.clean_clean(
+        [list(profile.pairs) for profile in profiles[:half]],
+        [list(profile.pairs) for profile in profiles[half:]],
+    )

@@ -1,0 +1,113 @@
+"""ArrayDeltaScorer: the numpy delta/rebuild policy and bit-exactness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.incremental.index import IncrementalTokenIndex
+from repro.incremental.store import MutableProfileStore
+from repro.incremental.weights import IncrementalWeighter
+
+from tests.incremental.conftest import needs_numpy
+
+pytestmark = needs_numpy
+
+
+def grown_index(n: int = 8):
+    store = MutableProfileStore()
+    store.add_profiles({"n": f"tok{i % 4} shared w{i}"} for i in range(n))
+    return store, IncrementalTokenIndex(store)
+
+
+def ingest(store, index, scorer, records):
+    batch = store.add_profiles(records)
+    index.add_profiles(batch)
+    scorer.notify(
+        token for p in batch for token in index.tokens_of(p.profile_id)
+    )
+    return [p.profile_id for p in batch]
+
+
+def test_first_refresh_is_a_rebuild_then_deltas():
+    from repro.incremental.engine import ArrayDeltaScorer
+
+    store, index = grown_index()
+    scorer = ArrayDeltaScorer(index, rebuild_threshold=0.9)
+    scorer.refresh()
+    assert (scorer.rebuilds, scorer.delta_updates) == (1, 0)
+    scorer.refresh()  # same generation: no-op
+    assert (scorer.rebuilds, scorer.delta_updates) == (1, 0)
+
+    ingest(store, index, scorer, [{"n": "tok0 shared"}])
+    scorer.refresh()  # one touched token among many: delta path
+    assert (scorer.rebuilds, scorer.delta_updates) == (1, 1)
+
+
+def test_delta_path_appends_unseen_tokens():
+    """Regression: a novel token on the delta path (the normal shape of
+    a real arrival) must grow the full contribution array safely."""
+    from repro.incremental.engine import ArrayDeltaScorer
+
+    store, index = grown_index(40)
+    scorer = ArrayDeltaScorer(index, rebuild_threshold=0.9)
+    scorer.refresh()  # rebuild leaves capacity == size exactly
+    new_ids = ingest(
+        store, index, scorer, [{"n": "brandnew tok0 shared"}]
+    )
+    ranked = scorer.score(list(index.candidate_pairs(new_ids)))
+    assert ranked  # did not crash, and the new arrival scored
+    assert scorer.delta_updates == 1 and scorer.rebuilds == 1
+    # one more novel-token arrival keeps appending within capacity
+    more = ingest(store, index, scorer, [{"n": "evenfresher tok1 shared"}])
+    assert scorer.score(list(index.candidate_pairs(more)))
+
+
+def test_exceeding_threshold_rematerializes():
+    from repro.incremental.engine import ArrayDeltaScorer
+
+    store, index = grown_index()
+    scorer = ArrayDeltaScorer(index, rebuild_threshold=0.1)
+    scorer.refresh()
+    # touch (far) more than 10% of the known tokens in one batch
+    ingest(
+        store,
+        index,
+        scorer,
+        [{"n": f"fresh{i} tok0 tok1 tok2 tok3"} for i in range(6)],
+    )
+    scorer.refresh()
+    assert scorer.rebuilds == 2
+
+
+def test_scores_are_bit_identical_to_the_python_weighter():
+    from repro.incremental.engine import ArrayDeltaScorer
+
+    for weighting in ("ARCS", "CBS", "ECBS", "JS", "EJS"):
+        store, index = grown_index(10)
+        scorer = ArrayDeltaScorer(index, weighting=weighting)
+        reference = IncrementalWeighter(index, weighting=weighting)
+        new_ids = ingest(
+            store, index, scorer, [{"n": f"tok{i} shared new"} for i in range(4)]
+        )
+        items = list(index.candidate_pairs(new_ids))
+        assert items
+        vectorized = scorer.score(items)
+        expected = reference.score(items)
+        assert [(c.i, c.j, c.weight) for c in vectorized] == [
+            (c.i, c.j, c.weight) for c in expected
+        ], weighting
+
+
+def test_empty_candidates_score_to_empty():
+    from repro.incremental.engine import ArrayDeltaScorer
+
+    _, index = grown_index()
+    assert ArrayDeltaScorer(index).score([]) == []
+
+
+def test_bad_threshold_rejected():
+    from repro.incremental.engine import ArrayDeltaScorer
+
+    _, index = grown_index()
+    with pytest.raises(ValueError, match="rebuild_threshold"):
+        ArrayDeltaScorer(index, rebuild_threshold=1.5)

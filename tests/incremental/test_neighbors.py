@@ -1,0 +1,100 @@
+"""IncrementalNeighborIndex: delta maintenance of the Neighbor List."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.profiles import EntityProfile
+from repro.incremental.neighbors import IncrementalNeighborIndex
+from repro.incremental.store import MutableProfileStore
+from repro.neighborlist.neighbor_list import NeighborList
+
+from tests.incremental.conftest import needs_numpy
+
+
+def seeded_store(n: int = 4) -> MutableProfileStore:
+    store = MutableProfileStore()
+    store.add_profiles({"n": f"token{i % 3} shared w{i}"} for i in range(n))
+    return store
+
+
+def test_merged_with_equals_full_rebuild():
+    base = NeighborList.from_key_pairs([("b", 0), ("a", 1), ("b", 2)])
+    merged = base.merged_with([("a", 3), ("c", 4), ("b", 5)])
+    rebuilt = NeighborList.from_key_pairs(
+        [("b", 0), ("a", 1), ("b", 2), ("a", 3), ("c", 4), ("b", 5)]
+    )
+    assert merged.entries == rebuilt.entries
+    assert merged.keys == rebuilt.keys
+    # existing entries keep their order; new ids append to their runs
+    assert merged.runs() == [("a", [1, 3]), ("b", [0, 2, 5]), ("c", [4])]
+
+
+def test_incremental_list_matches_batch_after_growth():
+    store = seeded_store()
+    neighbors = IncrementalNeighborIndex(store)
+    for i in range(4, 10):
+        profile = store.add({"n": f"token{i % 3} shared w{i}"})
+        neighbors.add_profile(profile)
+    live = neighbors.neighbor_list()
+    batch = NeighborList.schema_agnostic(store)
+    assert live.entries == batch.entries
+    assert live.keys == batch.keys
+
+
+def test_small_batches_merge_large_batches_rebuild():
+    store = seeded_store(12)
+    neighbors = IncrementalNeighborIndex(store, rebuild_threshold=0.25)
+    neighbors.add_profile(store.add({"n": "token0"}))
+    assert neighbors.pending == 1
+    neighbors.neighbor_list()  # one entry against dozens: merge path
+    assert (neighbors.merges, neighbors.rebuilds) == (1, 0)
+
+    big_batch = store.add_profiles(
+        {"n": f"token{i % 3} shared w{i}"} for i in range(30)
+    )
+    neighbors.add_profiles(big_batch)
+    neighbors.neighbor_list()  # most entries are new: rebuild path
+    assert (neighbors.merges, neighbors.rebuilds) == (1, 1)
+    assert neighbors.pending == 0
+
+
+def test_position_index_is_invalidated_by_ingestion():
+    store = seeded_store()
+    neighbors = IncrementalNeighborIndex(store)
+    first = neighbors.position_index()
+    assert neighbors.position_index() is first  # cached while fresh
+    neighbors.add_profile(store.add({"n": "token1 shared"}))
+    second = neighbors.position_index()
+    assert second is not first
+    new_id = len(store) - 1
+    assert len(second.positions_of(new_id)) == 2  # token1, shared
+
+
+@needs_numpy
+def test_position_index_backend_seam():
+    from repro.engine.csr import ArrayPositionIndex
+
+    store = seeded_store()
+    neighbors = IncrementalNeighborIndex(store, backend="numpy")
+    index = neighbors.position_index()
+    assert isinstance(index, ArrayPositionIndex)
+    reference = IncrementalNeighborIndex(store).position_index()
+    for profile in store:
+        assert list(index.positions_of(profile.profile_id)) == list(
+            reference.positions_of(profile.profile_id)
+        )
+
+
+def test_bad_threshold_rejected():
+    with pytest.raises(ValueError, match="rebuild_threshold"):
+        IncrementalNeighborIndex(seeded_store(), rebuild_threshold=0.0)
+
+
+def test_profiles_indexed_at_construction():
+    store = seeded_store()
+    neighbors = IncrementalNeighborIndex(store)
+    assert len(neighbors.neighbor_list()) == len(
+        NeighborList.schema_agnostic(store)
+    )
+    assert isinstance(store[0], EntityProfile)

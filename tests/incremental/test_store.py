@@ -1,0 +1,110 @@
+"""MutableProfileStore: ingestion, dense ids, sources, listeners."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.profiles import EntityProfile, ERType, ProfileStore
+from repro.incremental.store import MutableProfileStore
+
+
+def test_add_assigns_dense_ids_and_updates_counts():
+    store = MutableProfileStore()
+    first = store.add({"name": "carl"})
+    second = store.add({"name": "karl"})
+    assert (first.profile_id, second.profile_id) == (0, 1)
+    assert len(store) == 2
+    assert store[1].value("name") == "karl"
+    assert store.source_size(0) == 2
+    assert store.total_candidate_comparisons() == 1
+
+
+def test_add_profiles_accepts_mixed_record_shapes():
+    store = MutableProfileStore()
+    added = store.add_profiles(
+        [
+            {"name": "carl"},
+            [("name", "karl"), ("name", "charles")],  # multi-valued
+            EntityProfile(0, {"name": "ellen"}),
+        ]
+    )
+    assert [p.profile_id for p in added] == [0, 1, 2]
+    assert store[1].values("name") == ("karl", "charles")
+    assert store[2].value("name") == "ellen"
+
+
+def test_duplicate_ids_are_reassigned_not_overwritten():
+    """Ingesting a profile whose id already exists must create a new one."""
+    store = MutableProfileStore([EntityProfile(0, {"name": "carl"})])
+    clone = store.add(EntityProfile(0, {"name": "impostor"}))
+    assert clone.profile_id == 1
+    assert store[0].value("name") == "carl"
+    assert store[1].value("name") == "impostor"
+    # the dense-id invariant the flat indexes rely on still holds
+    assert all(store[i].profile_id == i for i in range(len(store)))
+
+
+def test_empty_batch_is_a_noop_and_notifies_nobody():
+    store = MutableProfileStore()
+    seen: list[list[EntityProfile]] = []
+    store.subscribe(lambda batch: seen.append(list(batch)))
+    assert store.add_profiles([]) == []
+    assert seen == []
+
+
+def test_listeners_see_each_batch_after_append():
+    store = MutableProfileStore()
+    sizes_at_notify: list[int] = []
+    store.subscribe(lambda batch: sizes_at_notify.append(len(store)))
+    store.add({"name": "a"})
+    store.add_profiles([{"name": "b"}, {"name": "c"}])
+    assert sizes_at_notify == [1, 3]  # store already contains the batch
+
+
+def test_unsubscribe_stops_notifications():
+    store = MutableProfileStore()
+    seen: list[int] = []
+    listener = store.subscribe(lambda batch: seen.append(len(batch)))
+    store.add({"name": "a"})
+    store.unsubscribe(listener)
+    store.unsubscribe(listener)  # absent: no-op
+    store.add({"name": "b"})
+    assert seen == [1]
+
+
+def test_clean_clean_rejects_bad_sources_before_appending():
+    store = MutableProfileStore([], ERType.CLEAN_CLEAN)
+    with pytest.raises(ValueError, match="source 0 or 1"):
+        store.add_profiles([{"name": "a"}, {"name": "b"}], sources=[0, 2])
+    assert len(store) == 0  # the whole batch was rejected
+
+
+def test_clean_clean_sources_feed_task_semantics():
+    store = MutableProfileStore([], ERType.CLEAN_CLEAN)
+    store.add_profiles([{"n": "a"}, {"n": "b"}], sources=[0, 1])
+    store.add({"n": "c"}, source=1)
+    assert store.valid_comparison(0, 1)
+    assert not store.valid_comparison(1, 2)
+    assert store.total_candidate_comparisons() == 2
+
+
+def test_sources_must_align_with_items():
+    store = MutableProfileStore()
+    with pytest.raises(ValueError, match="align"):
+        store.add_profiles([{"n": "a"}], sources=[0, 1])
+
+
+def test_from_store_upgrades_and_is_idempotent():
+    base = ProfileStore.from_attribute_maps([{"n": "a"}, {"n": "b"}])
+    mutable = MutableProfileStore.from_store(base)
+    assert isinstance(mutable, MutableProfileStore)
+    assert len(mutable) == 2
+    assert MutableProfileStore.from_store(mutable) is mutable
+
+
+def test_entityprofile_source_respected_and_overridable():
+    store = MutableProfileStore([], ERType.CLEAN_CLEAN)
+    right = store.add(EntityProfile(7, {"n": "a"}, source=1))
+    assert right.source == 1
+    left = store.add(EntityProfile(9, {"n": "b"}, source=1), source=0)
+    assert left.source == 0
