@@ -114,6 +114,7 @@ def timed_engine_run(
     data: Dataset,
     backend: str,
     checkpoints: int = 20,
+    workers: int | None = None,
     **method_params,
 ):
     """One (method, backend) engine measurement.
@@ -124,6 +125,9 @@ def timed_engine_run(
     (precision) curves at ``checkpoints`` evenly spaced positions from
     the ground truth.
 
+    ``workers`` configures the pool when ``backend`` is
+    ``"numpy-parallel"`` (ignored otherwise).
+
     Returns a dict ready for BENCH_engine.json.
     """
     import time
@@ -132,6 +136,8 @@ def timed_engine_run(
     from repro.pipeline import ERPipeline
 
     pipeline = ERPipeline().method(method_name, **method_params).backend(backend)
+    if pipeline.config.backend == "numpy-parallel":
+        pipeline.parallel(workers=workers)
     method = pipeline.fit(data).build_method()
 
     started = time.perf_counter()

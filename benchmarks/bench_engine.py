@@ -1,24 +1,36 @@
-"""Engine benchmark: python vs numpy backends, wall-clock + PC/PQ curves.
+"""Engine benchmark: python vs numpy vs numpy-parallel backends.
 
-Runs every backend-aware method (PPS, PBS, LS-PSN, GS-PSN) on both
-backends over the structured datasets, checks the emission streams agree
-pair-for-pair, and writes ``BENCH_engine.json`` so the perf trajectory
-of the array engine is tracked across PRs.
+Runs every backend-aware method (PPS, PBS, LS-PSN, GS-PSN) on all
+execution backends over the structured datasets, checks the emission
+streams agree pair-for-pair (an order-sensitive digest), and writes
+``BENCH_engine.json`` so the perf trajectory of the engine is tracked
+across PRs.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_engine.py            # full run
-    PYTHONPATH=src python benchmarks/bench_engine.py --smoke    # ~10s CI smoke
+    PYTHONPATH=src python benchmarks/bench_engine.py --smoke    # CI smoke
+
+    # CI regression gate: fail (exit 1) when any method regresses more
+    # than 25% against the committed baseline's wall clock.
+    PYTHONPATH=src python benchmarks/bench_engine.py --smoke \
+        --compare BENCH_engine.json --tolerance 0.25
 
 Speedups are reported for the initialization phase, the emission phase
 (producing the full progressive comparison stream - the engine's core
 claim) and end to end.  Initialization includes the shared pure-Python
 blocking/tokenization substrate, identical work for both backends, which
-is why emission speedups exceed total speedups.
+is why emission speedups exceed total speedups.  The parallel backend
+runs with ``--workers`` processes (default: every visible core, minimum
+2) - its numbers only beat sequential numpy when real cores back the
+workers, so treat single-core results as overhead measurements.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import os
 import sys
 
 try:  # package import (pytest) vs direct script execution
@@ -39,75 +51,204 @@ ENGINE_METHODS = (
 )
 
 FULL_DATASETS = ("census", "restaurant", "cora", "cddb")
-SMOKE_DATASETS = ("census",)
+BACKENDS = ("python", "numpy", "numpy-parallel")
+
+# Smoke: the quick census sweep over all three backends, plus the
+# numpy vs numpy-parallel pair on the largest structured dataset
+# (cddb) - the case sharding exists for.
 SMOKE_METHODS = (("PPS", {}), ("LS-PSN", {"max_window": 5}))
+SMOKE_CELLS = (
+    ("census", SMOKE_METHODS, BACKENDS),
+    ("cddb", (("PPS", {}),), ("numpy", "numpy-parallel")),
+)
+FULL_CELLS = tuple(
+    (dataset_name, ENGINE_METHODS, BACKENDS) for dataset_name in FULL_DATASETS
+)
 
 
-def run(smoke: bool = False) -> dict:
-    datasets = SMOKE_DATASETS if smoke else FULL_DATASETS
-    methods = SMOKE_METHODS if smoke else ENGINE_METHODS
+def default_workers() -> int:
+    return max(2, os.cpu_count() or 1)
+
+
+def run(smoke: bool = False, workers: int | None = None) -> dict:
+    workers = default_workers() if workers is None else workers
+    cells = SMOKE_CELLS if smoke else FULL_CELLS
     runs = []
     rows = []
-    for dataset_name in datasets:
+    for dataset_name, methods, backends in cells:
         data = dataset(dataset_name)
         for method_name, params in methods:
             by_backend = {}
-            for backend in ("python", "numpy"):
+            for backend in backends:
                 result = timed_engine_run(
-                    method_name, data, backend, **params
+                    method_name, data, backend, workers=workers, **params
                 )
                 by_backend[backend] = result
                 runs.append(result)
-            python, numpy_ = by_backend["python"], by_backend["numpy"]
-            assert (
-                python["emitted"] == numpy_["emitted"]
-                and python["stream_digest"] == numpy_["stream_digest"]
-            ), f"backend streams diverge for {method_name} on {dataset_name}"
-            rows.append(
-                [
-                    dataset_name,
-                    method_name,
-                    python["emitted"],
-                    f"{python['total_seconds']:.2f}s",
-                    f"{numpy_['total_seconds']:.2f}s",
-                    f"{python['init_seconds'] / max(numpy_['init_seconds'], 1e-9):.1f}x",
-                    f"{python['emission_seconds'] / max(numpy_['emission_seconds'], 1e-9):.1f}x",
-                    f"{python['total_seconds'] / max(numpy_['total_seconds'], 1e-9):.1f}x",
-                ]
-            )
+            reference = by_backend[backends[0]]
+            for backend in backends[1:]:
+                contender = by_backend[backend]
+                assert (
+                    reference["emitted"] == contender["emitted"]
+                    and reference["stream_digest"] == contender["stream_digest"]
+                ), (
+                    f"{backends[0]} and {backend} streams diverge for "
+                    f"{method_name} on {dataset_name}"
+                )
+            for backend in backends:
+                result = by_backend[backend]
+                rows.append(
+                    [
+                        dataset_name,
+                        method_name,
+                        backend,
+                        result["emitted"],
+                        f"{result['init_seconds']:.2f}s",
+                        f"{result['emission_seconds']:.2f}s",
+                        f"{result['total_seconds']:.2f}s",
+                        _speedup(reference, result),
+                    ]
+                )
 
     speedups = {}
     for row in rows:
-        speedups[f"{row[0]}/{row[1]}"] = {
-            "init": row[5],
-            "emission": row[6],
-            "total": row[7],
+        speedups[f"{row[0]}/{row[1]}/{row[2]}"] = {
+            "init": row[4],
+            "emission": row[5],
+            "total": row[6],
+            "vs_reference": row[7],
         }
     payload = {
-        "schema": "bench-engine/1",
+        "schema": "bench-engine/2",
         "smoke": smoke,
+        "workers": workers,
         "speedups": speedups,
         "runs": runs,
     }
     emit(
         format_table(
             [
-                "dataset", "method", "emitted",
-                "python", "numpy",
-                "init speedup", "emission speedup", "total speedup",
+                # fmt: off
+                "dataset", "method", "backend", "emitted",
+                "init", "emission", "total", "total speedup vs ref",
+                # fmt: on
             ],
             rows,
-            title="Engine benchmark: python vs numpy backend",
+            title="Engine benchmark: python vs numpy vs numpy-parallel",
         )
     )
     return payload
 
 
+def _speedup(reference: dict, result: dict) -> str:
+    if reference is result:
+        return "1.0x (ref)"
+    ratio = reference["total_seconds"] / max(result["total_seconds"], 1e-9)
+    return f"{ratio:.1f}x"
+
+
+def compare_against_baseline(
+    payload: dict, baseline_path: str, tolerance: float
+) -> list[str]:
+    """Wall-clock regression check against a committed baseline.
+
+    Matches runs on ``(dataset, method, backend)`` - cells only present
+    on one side are reported but never fail the gate - and flags every
+    cell whose fresh ``total_seconds`` exceeds the baseline by more than
+    ``tolerance`` (0.25 = +25%).  Returns the failure messages.
+    """
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    baseline_runs = {
+        (r["dataset"], r["method"], r["backend"]): r
+        for r in baseline.get("runs", [])
+    }
+    regressions = []
+    rows = []
+    for result in payload["runs"]:
+        key = (result["dataset"], result["method"], result["backend"])
+        base = baseline_runs.get(key)
+        if base is None:
+            rows.append([*key, "-", f"{result['total_seconds']:.2f}s", "new cell"])
+            continue
+        ratio = result["total_seconds"] / max(base["total_seconds"], 1e-9)
+        status = "ok"
+        if ratio > 1.0 + tolerance:
+            status = f"REGRESSION (+{(ratio - 1.0) * 100:.0f}%)"
+            regressions.append(
+                f"{'/'.join(key)}: {base['total_seconds']:.2f}s -> "
+                f"{result['total_seconds']:.2f}s (x{ratio:.2f} > "
+                f"1+{tolerance})"
+            )
+        rows.append(
+            [
+                *key,
+                f"{base['total_seconds']:.2f}s",
+                f"{result['total_seconds']:.2f}s",
+                status,
+            ]
+        )
+    emit(
+        format_table(
+            ["dataset", "method", "backend", "baseline", "fresh", "status"],
+            rows,
+            title=(
+                f"Benchmark regression gate (tolerance +{tolerance * 100:.0f}%)"
+            ),
+        )
+    )
+    return regressions
+
+
 def main(argv: list[str]) -> int:
-    smoke = "--smoke" in argv
-    payload = run(smoke=smoke)
-    path = write_bench_json(payload)
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="quick CI subset (~30s)"
+    )
+    parser.add_argument(
+        "--compare",
+        metavar="BASELINE.json",
+        help="fail (exit 1) on wall-clock regression against this baseline",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional slowdown per cell (default 0.25 = +25%%)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the parallel backend "
+        "(default: visible cores, minimum 2)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="where to write the fresh JSON (default: BENCH_engine.json)",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run(smoke=args.smoke, workers=args.workers)
+    path = (
+        write_bench_json(payload)
+        if args.out is None
+        else write_bench_json(payload, args.out)
+    )
     print(f"wrote {path}")
+
+    if args.compare:
+        regressions = compare_against_baseline(
+            payload, args.compare, args.tolerance
+        )
+        if regressions:
+            print("benchmark regression gate FAILED:", file=sys.stderr)
+            for line in regressions:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print("benchmark regression gate passed")
     return 0
 
 

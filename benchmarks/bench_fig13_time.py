@@ -70,8 +70,10 @@ def bench_fig13_time_experiments(benchmark, dataset_name, matcher_name):
     )
     table = format_table(
         [
+            # fmt: off
             "method", "init time", "per-comparison",
             "recall@25%t", "recall@50%t", "recall@budget", "comparisons",
+            # fmt: on
         ],
         rows,
         title=(

@@ -40,11 +40,13 @@ def bench_table2_dataset_characteristics(benchmark):
     rows = benchmark.pedantic(compute_rows, rounds=1, iterations=1)
     table = format_table(
         [
+            # fmt: off
             "dataset", "ER type", "scale",
             "|P|", "|P| target",
             "#attr",
             "|DP|", "|DP| target",
             "|p| mean", "|p| paper",
+            # fmt: on
         ],
         rows,
         title="Table 2: dataset characteristics (generated vs paper x scale)",

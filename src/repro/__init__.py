@@ -114,6 +114,7 @@ from repro.pipeline import (
     MatcherConfig,
     MetaBlockingConfig,
     MethodConfig,
+    ParallelConfig,
     PipelineConfig,
     ResolutionResult,
     Resolver,
@@ -150,6 +151,7 @@ __all__ = [
     "MatcherConfig",
     "BudgetConfig",
     "IncrementalConfig",
+    "ParallelConfig",
     # incremental / online resolution
     "IncrementalResolver",
     "MutableProfileStore",

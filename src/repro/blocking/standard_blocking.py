@@ -13,7 +13,7 @@ zipcodes".  This module provides:
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Sequence
+from typing import Callable
 
 from repro.blocking.base import Block, BlockCollection
 from repro.core.profiles import EntityProfile, ERType, ProfileStore

@@ -244,10 +244,12 @@ def generate_freebase(scale: float = 0.001, seed: int = 0) -> Dataset:
     # collide with label tokens, or label blocks would blow up and bury
     # the equality evidence.
     link_vocab = lexicon.synthesize_words(max(80, entity_count // 4), rng)
+    # fmt: off
     type_vocab = [
         "film", "person", "location", "organization", "music", "artist",
         "book", "event", "award", "species", "building", "sports",
     ]
+    # fmt: on
     freebase_props = lexicon.RDF_PREDICATES + [
         f"ns:{rng.choice(type_vocab)}.{word}"
         for word in lexicon.synthesize_words(30, rng)

@@ -225,10 +225,12 @@ def generate_cora(scale: float = 1.0, seed: int = 0) -> Dataset:
             "publisher": rng.choice(lexicon.PUBLISHERS),
             "address": rng.choice(lexicon.CITIES),
             "editor": f"{rng.choice(lexicon.FIRST_NAMES)} {rng.choice(lexicon.SURNAMES)}",
+            # fmt: off
             "month": rng.choice(
                 ["jan", "feb", "mar", "apr", "may", "jun",
                  "jul", "aug", "sep", "oct", "nov", "dec"]
             ),
+            # fmt: on
             "note": "tech report",
         }
 

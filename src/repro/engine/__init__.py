@@ -111,6 +111,44 @@ class Backend:
 
         return PositionIndex(neighbor_list)
 
+    # -- core factories (vectorized backends only) -------------------------
+    #
+    # The array methods build their execution cores through these seams,
+    # so a backend can swap in a differently-executed core (the parallel
+    # backend shards the builds across workers) without the methods
+    # changing.  The python backend never reaches them: methods check
+    # ``vectorized`` first.
+
+    def blocking_graph(self, index: Any, weighting: str) -> Any:
+        """The materialized, weighted Blocking Graph over ``index``."""
+        raise NotImplementedError(
+            f"backend {self.name!r} has no vectorized blocking graph"
+        )
+
+    def pps_core(self, scheduled: Any, weighting: str, k_max: int | None) -> Any:
+        """The PPS initialization/emission core over scheduled blocks."""
+        raise NotImplementedError(
+            f"backend {self.name!r} has no vectorized PPS core"
+        )
+
+    def pbs_core(self, index: Any, graph: Any) -> Any:
+        """The PBS block-event enumeration/emission core."""
+        raise NotImplementedError(
+            f"backend {self.name!r} has no vectorized PBS core"
+        )
+
+    def psn_core(self, neighbor_list: Any, store: Any, weighting: Any) -> Any:
+        """The LS/GS-PSN window-scoring core over one Neighbor List."""
+        raise NotImplementedError(
+            f"backend {self.name!r} has no vectorized PSN core"
+        )
+
+    def ranked_edges(self, graph: Any) -> Any:
+        """Every distinct graph edge ranked by ``(-weight, i, j)``."""
+        raise NotImplementedError(
+            f"backend {self.name!r} has no vectorized edge ranking"
+        )
+
 
 class PythonBackend(Backend):
     """The pure-Python reference backend (always available)."""
@@ -153,6 +191,37 @@ class NumpyBackend(Backend):
 
         return ArrayPositionIndex(neighbor_list)
 
+    def blocking_graph(self, index: Any, weighting: str) -> Any:
+        self.require()
+        from repro.engine.weights import ArrayBlockingGraph
+
+        return ArrayBlockingGraph(index, weighting)
+
+    def pps_core(self, scheduled: Any, weighting: str, k_max: int | None) -> Any:
+        self.require()
+        from repro.engine.equality import ArrayPPSCore
+
+        index = self.profile_index(scheduled)
+        return ArrayPPSCore(index, self.blocking_graph(index, weighting), k_max)
+
+    def pbs_core(self, index: Any, graph: Any) -> Any:
+        self.require()
+        from repro.engine.equality import ArrayPBSCore
+
+        return ArrayPBSCore(index, graph)
+
+    def psn_core(self, neighbor_list: Any, store: Any, weighting: Any) -> Any:
+        self.require()
+        from repro.engine.similarity import ArrayPSNCore
+
+        return ArrayPSNCore(neighbor_list, store, weighting)
+
+    def ranked_edges(self, graph: Any) -> Any:
+        self.require()
+        from repro.engine.topk import ranked_edges
+
+        return ranked_edges(graph)
+
 
 # Register instances (not classes): a backend is stateless configuration,
 # so every lookup may share one object.
@@ -162,13 +231,21 @@ backends.register("python", lambda: _PYTHON, aliases=("py", "pure-python"))
 backends.register("numpy", lambda: _NUMPY, aliases=("np", "array", "csr"))
 
 
-def get_backend(name: str) -> Backend:
+def get_backend(name: "str | Backend") -> Backend:
     """The backend registered under ``name`` (any spelling).
+
+    A :class:`Backend` *instance* passes through unchanged - that is how
+    a configured backend (e.g. a
+    :class:`~repro.parallel.backend.ParallelBackend` with explicit
+    ``workers``/``shards``) reaches the methods, which otherwise only
+    see registry names.
 
     Availability is *not* checked here - config validation must work on
     machines without numpy; call :meth:`Backend.require` before building
     structures.
     """
+    if isinstance(name, Backend):
+        return name
     return backends.build(name)
 
 

@@ -20,7 +20,7 @@ reference emission streams bit for bit (see the module docstring of
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro.core.comparisons import Comparison, ComparisonList
 from repro.core.profiles import ERType
@@ -37,19 +37,18 @@ require_numpy("repro.engine.equality")
 
 import numpy as np  # noqa: E402  (guarded optional dependency)
 
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.blocking.base import BlockCollection
-
 
 class ArrayPPSCore:
     """Vectorized initialization + emission state for PPS.
 
     Parameters
     ----------
-    scheduled:
-        The scheduled block collection (ids = positions).
-    weighting:
-        Weighting scheme name (resolved to its array kernel).
+    index:
+        The CSR profile index over the scheduled block collection.
+    graph:
+        The materialized, weighted Blocking Graph over ``index`` - built
+        through the backend seam, so the sequential and sharded builds
+        both land here.
     k_max:
         Emission batch bound per scheduled profile; ``None`` applies the
         same adaptive rule as the reference implementation.
@@ -59,12 +58,12 @@ class ArrayPPSCore:
 
     def __init__(
         self,
-        scheduled: "BlockCollection",
-        weighting: str,
+        index: ArrayProfileIndex,
+        graph: ArrayBlockingGraph,
         k_max: int | None,
     ) -> None:
-        self.index = ArrayProfileIndex(scheduled)
-        self.graph = ArrayBlockingGraph(self.index, weighting)
+        self.index = index
+        self.graph = graph
         if k_max is None:
             # Same adaptive rule (and Python arithmetic) as the reference:
             # average block comparisons per profile, clamped to [10, 50].
@@ -228,9 +227,18 @@ class ArrayPBSCore:
     def __init__(self, index: ArrayProfileIndex, graph: ArrayBlockingGraph) -> None:
         self.index = index
         self.graph = graph
-        self._build_events()
+        self._build_block_indptr()
+        self.pair_i, self.pair_j = self._enumerate_pairs()
+        self._finalize_events()
 
-    def _build_events(self) -> None:
+    def _build_block_indptr(self) -> None:
+        """Block-major slots: block b owns event range indptr[b]:indptr[b+1]."""
+        cardinalities = self.index.block_cardinalities
+        indptr = np.zeros(self.index.block_count() + 1, dtype=np.int64)
+        np.cumsum(cardinalities, out=indptr[1:])
+        self.block_indptr = indptr
+
+    def _enumerate_pairs(self) -> tuple[np.ndarray, np.ndarray]:
         """Enumerate every block comparison once, as flat arrays.
 
         Blocks are batched by shape (size for Dirty ER, left x right
@@ -241,18 +249,20 @@ class ArrayPBSCore:
         stable argsort over canonical pair keys equal the paper's
         LeCoBI condition ("first event of each key" = least common
         block id).
+
+        Overridable seam: the parallel backend's core regenerates these
+        two arrays from contiguous block shards instead (pair order
+        inside a block is deterministic per block, so concatenation is
+        exact); everything else is shared.
         """
         index = self.index
-        n = index.n_profiles
         clean_clean = index.store.er_type is ERType.CLEAN_CLEAN
         sources = index.sources
         block_count = index.block_count()
         bp_indptr, bp_indices = index.bp_indptr, index.bp_indices
 
         cardinalities = index.block_cardinalities
-        indptr = np.zeros(block_count + 1, dtype=np.int64)
-        np.cumsum(cardinalities, out=indptr[1:])
-        self.block_indptr = indptr
+        indptr = self.block_indptr
         total = int(indptr[-1])
         pair_i = np.empty(total, dtype=np.int64)
         pair_j = np.empty(total, dtype=np.int64)
@@ -294,10 +304,11 @@ class ArrayPBSCore:
             )
             pair_i[slots] = np.minimum(raw_i, raw_j)
             pair_j[slots] = np.maximum(raw_i, raw_j)
+        return pair_i, pair_j
 
-        self.pair_i = pair_i
-        self.pair_j = pair_j
-
+    def _finalize_events(self) -> None:
+        """LeCoBI repeat detection + pair weights over the event arrays."""
+        n = self.index.n_profiles
         keys = self.pair_i * n + self.pair_j
         order = np.argsort(keys, kind="stable")
         sorted_keys = keys[order]

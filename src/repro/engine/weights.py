@@ -267,6 +267,39 @@ class ArrayBlockingGraph:
         self._edge_keys: np.ndarray | None = None
         self._edge_weights: np.ndarray | None = None
 
+    @classmethod
+    def from_rows(
+        cls,
+        index: ArrayProfileIndex,
+        scheme: ArrayWeighting | str,
+        indptr: np.ndarray,
+        neighbors: np.ndarray,
+        raw: np.ndarray,
+        first_event_index: np.ndarray,
+    ) -> "ArrayBlockingGraph":
+        """Assemble a graph whose raw rows were built elsewhere.
+
+        The seam for the sharded build (:mod:`repro.parallel.graph`):
+        workers produce contiguous row ranges that concatenate into
+        exactly the arrays :meth:`_build_rows` would have produced, and
+        preparation/finalization - which need the *whole* graph (EJS
+        degrees) - run here as usual.
+        """
+        graph = cls.__new__(cls)
+        graph.index = index
+        graph.scheme = (
+            make_array_scheme(scheme, index) if isinstance(scheme, str) else scheme
+        )
+        graph.indptr = indptr
+        graph.neighbors = neighbors
+        graph.raw = raw
+        graph.first_event_index = first_event_index
+        graph.scheme.prepare(graph)
+        graph._finalize_rows()
+        graph._edge_keys = None
+        graph._edge_weights = None
+        return graph
+
     # -- construction --------------------------------------------------------
 
     def _build_rows(self) -> None:

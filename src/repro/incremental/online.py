@@ -36,8 +36,9 @@ from repro.core.profiles import ProfileStore
 from repro.core.tokenization import DEFAULT_TOKENIZER, Tokenizer
 from repro.metablocking.profile_index import ProfileIndex
 from repro.metablocking.weights import WeightingScheme, make_scheme
+from repro.engine import get_backend
 from repro.progressive.base import ProgressiveMethod
-from repro.registry import backends, progressive_methods
+from repro.registry import progressive_methods
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.weights import ArrayBlockingGraph
@@ -78,7 +79,7 @@ class OnlineRanked(ProgressiveMethod):
     ) -> None:
         super().__init__(store)
         self.weighting_name = weighting
-        self.backend = backends.build(backend).require()
+        self.backend = get_backend(backend).require()
         self._input_blocks = blocks
         self.tokenizer = tokenizer
         self.purge_ratio = purge_ratio
@@ -105,11 +106,9 @@ class OnlineRanked(ProgressiveMethod):
         )
         ordered.assign_block_ids()
         if self.backend.vectorized:
-            from repro.engine.weights import ArrayBlockingGraph
-
             index = self.backend.profile_index(ordered)
             self.profile_index = index  # type: ignore[assignment]
-            self._graph = ArrayBlockingGraph(index, self.weighting_name)
+            self._graph = self.backend.blocking_graph(index, self.weighting_name)
             self.scheme = self._graph  # type: ignore[assignment]
         else:
             self.profile_index = ProfileIndex(ordered)
@@ -119,9 +118,9 @@ class OnlineRanked(ProgressiveMethod):
 
     def _emit(self) -> Iterator[Comparison]:
         if self._graph is not None:
-            from repro.engine.topk import iter_comparisons, ranked_edges
+            from repro.engine.topk import iter_comparisons
 
-            yield from iter_comparisons(*ranked_edges(self._graph))
+            yield from iter_comparisons(*self.backend.ranked_edges(self._graph))
             return
 
         assert self.profile_index is not None and self.scheme is not None

@@ -50,6 +50,34 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.pipeline.config import PipelineConfig
 
 
+def score_probe(
+    index: IncrementalTokenIndex,
+    weighter: IncrementalWeighter,
+    probe: EntityProfile,
+) -> list[Comparison]:
+    """Score one read-only probe with exact as-if-ingested statistics.
+
+    The shared body of :meth:`IncrementalResolver.resolve_one`
+    (``ingest=False``) and the fan-out of
+    :meth:`IncrementalResolver.resolve_many`: the index is temporarily
+    updated and rolled back, so corpus statistics see the probe while it
+    is scored and forget it afterwards.  Mutates (and restores) the
+    given index/weighter - callers hand workers their own copies.
+    """
+    weighter.size_offset = 1  # as-if corpus size for purging
+    journal = index.probe_enter(probe)
+    weighter.invalidate()  # stats must see the probe...
+    try:
+        candidates = index.probe_pairs(
+            probe.profile_id, probe.source, weighter.purge_limit()
+        )
+        return weighter.score(candidates)
+    finally:
+        index.probe_exit(probe, journal)
+        weighter.invalidate()  # ...and forget it afterwards
+        weighter.size_offset = 0
+
+
 class IncrementalResolver(Resolver):
     """A progressive ER session whose corpus can grow after ``fit``.
 
@@ -199,23 +227,81 @@ class IncrementalResolver(Resolver):
             return self.add_profiles(
                 [item], sources=None if source is None else [source]
             )
-        probe = self._coerce_probe(item, source)
-        self._weighter.size_offset = 1  # as-if corpus size for purging
-        journal = self._index.probe_enter(probe)
-        self._weighter.invalidate()  # stats must see the probe...
-        try:
-            candidates = self._index.probe_pairs(
-                probe.profile_id, probe.source, self._weighter.purge_limit()
+        # The pure-Python weighter scores probes on every backend: a
+        # single profile's candidates do not amortize an array refresh
+        # that would be rolled back right after (weights are
+        # bit-identical across scorers by construction).
+        return score_probe(
+            self._index, self._weighter, self._coerce_probe(item, source)
+        )
+
+    def resolve_many(
+        self,
+        items: Iterable[
+            "EntityProfile | Mapping[str, object] | Iterable[tuple[str, object]]"
+        ],
+        sources: Iterable[int] | None = None,
+        workers: int | None = None,
+    ) -> list[list[Comparison]]:
+        """Read-only probes for a whole batch, optionally fanned across
+        a worker pool.
+
+        Equivalent to ``[resolve_one(item, ingest=False) for item in
+        items]``: every item is scored against the *current* corpus with
+        exact as-if-ingested statistics, nothing is stored, emitted or
+        counted against budgets - the bulk query path for serving
+        lookups against a live index.
+
+        ``workers=None`` inherits the pipeline's ``.parallel(...)``
+        stage when the session runs on the ``numpy-parallel`` backend
+        (else it stays sequential); an explicit count forces the pool
+        size (``0`` - sequential).  Workers receive a pickled,
+        listener-free snapshot of the live token index once per call
+        and score chunks of probes independently - probes never mutate
+        the session's own index.
+        """
+        if workers is None:
+            spec = self.config.parallel
+            if spec is None or self.config.backend != "numpy-parallel":
+                workers = 0
+            elif spec.workers is None:
+                import os
+
+                workers = os.cpu_count() or 1
+            else:
+                workers = spec.workers
+        source_list = None if sources is None else list(sources)
+        item_list = list(items)
+        if source_list is not None and len(source_list) != len(item_list):
+            raise ValueError(
+                f"sources has {len(source_list)} entries for "
+                f"{len(item_list)} items"
             )
-            # The pure-Python weighter scores probes on every backend:
-            # a single profile's candidates do not amortize an array
-            # refresh that would be rolled back right after (weights are
-            # bit-identical across scorers by construction).
-            return self._weighter.score(candidates)
+        probes = [
+            self._coerce_probe(
+                item, None if source_list is None else source_list[position]
+            )
+            for position, item in enumerate(item_list)
+        ]
+        if workers < 2 or len(probes) <= 1:
+            # Sequential (and numpy-free) fast path.
+            return [
+                score_probe(self._index, self._weighter, probe)
+                for probe in probes
+            ]
+        from repro.parallel.plan import ShardPlan
+        from repro.parallel.pool import WorkerPool
+        from repro.parallel.tasks import probe_score_task
+
+        pool = WorkerPool(workers)
+        try:
+            plan = ShardPlan.uniform(len(probes), min(workers, len(probes)))
+            chunks = [probes[lo:hi] for lo, hi in plan.ranges()]
+            payload = {"index": self._index, "weighter": self._weighter}
+            results = pool.run(probe_score_task, payload, chunks)
         finally:
-            self._index.probe_exit(probe, journal)
-            self._weighter.invalidate()  # ...and forget it afterwards
-            self._weighter.size_offset = 0
+            pool.close()
+        return [scored for chunk in results for scored in chunk]
 
     def _coerce_probe(
         self,
@@ -264,7 +350,7 @@ class IncrementalResolver(Resolver):
             self.store,
             weighting=self.config.meta.weighting,
             blocks=self.blocks,
-            backend=self.config.backend,
+            backend=self._method_backend(),
         )
 
     def initialize(self) -> "IncrementalResolver":

@@ -84,6 +84,28 @@ class MutableProfileStore(ProfileStore):
         except ValueError:
             pass
 
+    # -- pickling -------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Pickle without listeners.
+
+        Listeners are session-local callbacks (typically bound methods
+        of a live resolver holding emitters and budgets); a shipped
+        copy - e.g. the probe snapshot ``resolve_many`` sends to worker
+        processes - starts with none, so mutating the copy can never
+        reach back into the originating session.
+        """
+        return {
+            "profiles": self.profiles,
+            "er_type": self.er_type,
+            "_source_counts": self._source_counts,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+        self._listeners = []
+
     # -- ingestion ------------------------------------------------------------
 
     def _coerce(

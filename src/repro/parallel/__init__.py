@@ -1,0 +1,77 @@
+"""Sharded multi-core execution: the ``numpy-parallel`` backend.
+
+The array engine (:mod:`repro.engine`) made every hot path a handful of
+global numpy passes - but a single process caps them at one core.  This
+package shards that work across worker processes and re-merges a
+*globally correct* progressive stream:
+
+* :mod:`repro.parallel.plan` - :class:`ShardPlan`: partitions profiles
+  (or blocks, or positions) into contiguous ranges, size-balanced by
+  postings mass read off a CSR ``indptr``;
+* :mod:`repro.parallel.pool` - :class:`WorkerPool`: a fork-based process
+  pool that ships a payload of CSR arrays once per pool (pickled, or via
+  a shared ``np.memmap``) and fans shard tasks over it; ``workers=0``
+  runs the identical shard code inline, which is what the parity suite
+  exercises exhaustively;
+* :mod:`repro.parallel.merge` - :class:`ShardMerger`: k-way merges
+  per-shard ranked outputs preserving the exact system-wide
+  ``(-weight, i, j)`` total order, plus the grouped-count merge the
+  window kernels use;
+* :mod:`repro.parallel.graph` / :mod:`repro.parallel.equality` /
+  :mod:`repro.parallel.similarity` - sharded builds of the Blocking
+  Graph, the PBS event arrays, the PPS emission schedule and the PSN
+  window counts, each engineered to reproduce the sequential ``numpy``
+  backend *bit-identically* (shards are contiguous slices of the exact
+  event streams the sequential kernels walk, so per-key accumulation
+  order is preserved);
+* :mod:`repro.parallel.backend` - :class:`ParallelBackend`, registered
+  as ``"numpy-parallel"`` in :data:`repro.registry.backends`.
+
+Select it like any other backend - ``resolve(data, method="PPS",
+backend="numpy-parallel")``, ``ERPipeline().parallel(workers=4)``,
+``PPS(store, backend="numpy-parallel")`` - and the emission stream is
+the same stream ``"numpy"`` produces, comparison for comparison
+(property-tested under ``tests/parallel/``).
+
+Parallelism pays off when candidate scoring dominates: large block
+collections (graph build), wide window ranges (GS-PSN), big probe
+batches (:meth:`~repro.incremental.resolver.IncrementalResolver.resolve_many`).
+See ``docs/parallel.md`` for the sharding model and worker-count
+guidance.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "Shard",
+    "ShardPlan",
+    "ShardMerger",
+    "WorkerPool",
+    "ParallelBackend",
+    "merge_grouped_counts",
+]
+
+# Submodules import numpy at module level (they are array code through
+# and through); the package itself stays importable without it - like
+# repro.engine - because the backends registry imports
+# repro.parallel.backend to register "numpy-parallel" on machines that
+# may only ever use backend="python".
+_EXPORTS = {
+    "Shard": "repro.parallel.plan",
+    "ShardPlan": "repro.parallel.plan",
+    "ShardMerger": "repro.parallel.merge",
+    "merge_grouped_counts": "repro.parallel.merge",
+    "WorkerPool": "repro.parallel.pool",
+    "ParallelBackend": "repro.parallel.backend",
+}
+
+
+def __getattr__(name: str) -> Any:
+    module = _EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module 'repro.parallel' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module), name)

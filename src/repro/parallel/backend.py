@@ -1,0 +1,195 @@
+"""The ``"numpy-parallel"`` backend: the CSR engine, sharded.
+
+:class:`ParallelBackend` extends the ``numpy`` backend's factory seam:
+structures are the same CSR arrays, but the expensive builds fan out
+over a :class:`~repro.parallel.pool.WorkerPool` according to a
+:class:`~repro.parallel.plan.ShardPlan`, and ranked outputs re-merge
+through :class:`~repro.parallel.merge.ShardMerger` - bit-identical
+streams, more cores.
+
+Configuration travels as a *backend instance*: the registry entry
+builds an unconfigured backend (``workers=None`` - one per visible
+core), while ``ERPipeline().parallel(workers=..., shards=...)`` and
+:func:`repro.resolve` construct configured instances and hand them
+straight to the methods (every method's ``backend=`` accepts an
+instance as well as a name).
+
+This module must import cleanly without numpy - the backends registry
+loads it eagerly - so all array machinery is imported lazily inside the
+factory methods, mirroring :mod:`repro.engine`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.engine import NumpyBackend, require_numpy
+from repro.registry import backends
+
+
+class ParallelBackend(NumpyBackend):
+    """Sharded multi-process execution of the CSR engine.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes: ``None`` (default) resolves to one per
+        visible core; ``0``/``1`` runs every shard inline in-process
+        (the same code path, no processes - useful for tests and
+        single-core machines).
+    shards:
+        Shard count per fan-out; ``None`` matches the resolved worker
+        count (at least 1).  More shards than workers smooths
+        imbalance at the cost of per-shard overhead.
+    ship:
+        Payload transport: ``"pickle"`` (default) or ``"memmap"``
+        (arrays shared through the page cache; see
+        :mod:`repro.parallel.pool`).
+    """
+
+    name = "numpy-parallel"
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        shards: int | None = None,
+        ship: str = "pickle",
+    ) -> None:
+        if workers is None:
+            from repro.parallel.pool import default_worker_count
+
+            workers = default_worker_count()
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        if shards is not None and shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if ship not in ("pickle", "memmap"):
+            raise ValueError(
+                f"ship must be 'pickle' or 'memmap', got {ship!r}"
+            )
+        self.workers = workers
+        self.shards = shards if shards is not None else max(workers, 1)
+        self.ship = ship
+        self._pool: Any = None
+        self._payloads: dict[tuple[int, int], tuple[Any, dict]] = {}
+
+    def require(self) -> "ParallelBackend":
+        require_numpy("backend='numpy-parallel'")
+        return self
+
+    # -- execution machinery -------------------------------------------------
+
+    def pool(self) -> Any:
+        """The backend's (lazily created) worker pool."""
+        if self._pool is None:
+            from repro.parallel.pool import WorkerPool
+
+            self._pool = WorkerPool(self.workers, ship=self.ship)
+        return self._pool
+
+    def close(self) -> None:
+        """Tear down the pool now (it also dies with the backend)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        self._payloads.clear()
+
+    def _payload_for(self, index: Any, scheme: Any) -> dict:
+        """One shared worker payload per (index, scheme) pair.
+
+        Sharing the dict *object* matters: the pool re-ships only when
+        the payload identity changes, so a method whose build runs
+        several fan-outs over the same index (PBS: graph rows, then
+        block pairs) forks and ships exactly once.
+
+        The cache entry keeps a strong reference to the index and
+        verifies it on every hit: ``id()`` alone is not a safe key,
+        because a garbage-collected index's address can be recycled by
+        a different dataset's index on a backend reused across fits.
+        """
+        from repro.parallel.graph import graph_payload
+
+        key = (id(index), id(type(scheme)))
+        entry = self._payloads.get(key)
+        if entry is not None and entry[0] is index:
+            return entry[1]
+        payload = graph_payload(index, scheme)
+        self._payloads[key] = (index, payload)
+        return payload
+
+    # -- core factories (the seam the methods consume) -----------------------
+
+    def blocking_graph(self, index: Any, weighting: str) -> Any:
+        self.require()
+        from repro.engine.weights import make_array_scheme
+        from repro.parallel.graph import sharded_blocking_graph
+
+        scheme = make_array_scheme(weighting, index)
+        return sharded_blocking_graph(
+            index,
+            scheme,
+            shards=self.shards,
+            pool=self.pool(),
+            payload=self._payload_for(index, scheme),
+        )
+
+    def pps_core(self, scheduled: Any, weighting: str, k_max: int | None) -> Any:
+        self.require()
+        from repro.parallel.equality import ParallelPPSCore
+
+        index = self.profile_index(scheduled)
+        graph = self.blocking_graph(index, weighting)
+        return ParallelPPSCore(
+            index, graph, k_max, shards=self.shards, pool=self.pool()
+        )
+
+    def pbs_core(self, index: Any, graph: Any) -> Any:
+        self.require()
+        from repro.parallel.equality import ParallelPBSCore
+
+        return ParallelPBSCore(
+            index,
+            graph,
+            shards=self.shards,
+            pool=self.pool(),
+            payload=self._payload_for(index, graph.scheme),
+        )
+
+    def psn_core(self, neighbor_list: Any, store: Any, weighting: Any) -> Any:
+        self.require()
+        from repro.parallel.similarity import ParallelPSNCore
+
+        return ParallelPSNCore(
+            neighbor_list, store, weighting, shards=self.shards, pool=self.pool()
+        )
+
+    def ranked_edges(self, graph: Any) -> Any:
+        """Graph edges ranked ``(-weight, i, j)``: per-shard stable sorts
+        k-way merged - the ONLINE method's whole emission."""
+        self.require()
+        from repro.parallel.merge import ShardMerger
+        from repro.parallel.plan import ShardPlan
+        from repro.parallel.tasks import ranked_sort_task
+
+        i, j, weights = graph.edges()
+        if i.size == 0:
+            return i, j, weights
+        plan = ShardPlan.uniform(int(i.size), self.shards)
+        chunks = [
+            (i[lo:hi], j[lo:hi], weights[lo:hi]) for lo, hi in plan.ranges()
+        ]
+        ranked = self.pool().run_transient(ranked_sort_task, chunks)
+        return ShardMerger.merge(ranked)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ParallelBackend(workers={self.workers}, "
+            f"shards={self.shards}, ship={self.ship!r})"
+        )
+
+
+backends.register(
+    "numpy-parallel",
+    ParallelBackend,
+    aliases=("parallel", "np-parallel", "sharded"),
+)

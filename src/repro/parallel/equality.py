@@ -1,0 +1,159 @@
+"""Sharded execution cores for the equality methods (PPS, PBS).
+
+Both subclass their sequential :mod:`repro.engine.equality` counterparts
+over the *same merged structures* (the graph comes from
+:func:`~repro.parallel.graph.sharded_blocking_graph`), overriding only
+the passes worth fanning out:
+
+* :class:`ParallelPPSCore` shards the Algorithm-6 emission by schedule
+  rank: each worker lexsorts and K_max-truncates the neighborhoods of a
+  contiguous rank range ("weights + top-k over the shard's
+  neighborhoods"), and because rank is the primary emission key, the
+  merged stream is the shards concatenated in plan order.
+* :class:`ParallelPBSCore` shards the block-comparison enumeration by
+  contiguous block ranges balanced on cardinality mass; pair order
+  inside a block is deterministic, so the shard outputs concatenate
+  into exactly the sequential block-major event arrays, and the global
+  LeCoBI pass runs unchanged on top.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.core.comparisons import Comparison
+from repro.engine import require_numpy
+
+require_numpy("repro.parallel.equality")
+
+import numpy as np  # noqa: E402  (guarded optional dependency)
+
+from repro.engine.csr import ArrayProfileIndex  # noqa: E402
+from repro.engine.equality import ArrayPBSCore, ArrayPPSCore  # noqa: E402
+from repro.engine.topk import iter_comparisons  # noqa: E402
+from repro.engine.weights import ArrayBlockingGraph  # noqa: E402
+from repro.parallel.merge import ShardMerger  # noqa: E402
+from repro.parallel.plan import ShardPlan  # noqa: E402
+from repro.parallel.pool import WorkerPool  # noqa: E402
+from repro.parallel.tasks import block_pairs_task, pps_schedule_task  # noqa: E402
+
+
+class ParallelPPSCore(ArrayPPSCore):
+    """PPS core whose emission schedule fans out over rank shards."""
+
+    __slots__ = ("shards", "pool")
+
+    def __init__(
+        self,
+        index: ArrayProfileIndex,
+        graph: ArrayBlockingGraph,
+        k_max: int | None,
+        shards: int,
+        pool: WorkerPool,
+    ) -> None:
+        super().__init__(index, graph, k_max)
+        self.shards = shards
+        self.pool = pool
+
+    def emit_schedule(
+        self, schedule: Sequence[int], k: int
+    ) -> Iterator[Comparison]:
+        """Algorithm 6 across rank shards (see the base for the math).
+
+        The kept-edge filter runs in the parent (one boolean pass); the
+        expensive ``(rank, -weight, neighbor)`` lexsort and per-owner
+        truncation run per shard.  Shard boundaries snap to whole rank
+        groups, so each owner's segment lives in exactly one shard and
+        concatenation in plan order is the exact sequential stream.
+        """
+        graph = self.graph
+        n = self.index.n_profiles
+        order_pids = np.asarray(schedule, dtype=np.int64)
+        rank = np.full(n, n, dtype=np.int64)
+        rank[order_pids] = np.arange(order_pids.size, dtype=np.int64)
+
+        owners = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.indptr))
+        keep = rank[graph.neighbors] > rank[owners]
+        owner = owners[keep]
+        neighbor = graph.neighbors[keep]
+        weight = graph.weights[keep]
+        if owner.size == 0:
+            return iter(())
+
+        owner_rank = rank[owner]
+        # Rank-major layout: one stable single-key sort here buys the
+        # workers contiguous rank ranges (the heavy three-key lexsort
+        # then happens per shard).
+        by_rank = np.argsort(owner_rank, kind="stable")
+        owner = owner[by_rank]
+        neighbor = neighbor[by_rank]
+        weight = weight[by_rank]
+        sorted_rank = owner_rank[by_rank]
+        bounds = ShardPlan.uniform(int(sorted_rank.size), self.shards)
+
+        # Snap each cut to the start of its rank group so no owner
+        # segment straddles two shards (empty shards are fine).
+        def snap(bound: int) -> int:
+            if bound >= sorted_rank.size:
+                return int(sorted_rank.size)
+            return int(np.searchsorted(sorted_rank, sorted_rank[bound], "left"))
+
+        chunks = []
+        for lo, hi in bounds.ranges():
+            lo, hi = snap(lo), snap(hi)
+            chunks.append(
+                (owner[lo:hi], neighbor[lo:hi], weight[lo:hi], sorted_rank[lo:hi], k)
+            )
+        outputs = self.pool.run_transient(pps_schedule_task, chunks)
+        return iter_comparisons(*ShardMerger.concat(outputs))
+
+
+class ParallelPBSCore(ArrayPBSCore):
+    """PBS core whose block-pair enumeration fans out over block shards."""
+
+    __slots__ = ("shards", "pool", "payload")
+
+    def __init__(
+        self,
+        index: ArrayProfileIndex,
+        graph: ArrayBlockingGraph,
+        shards: int,
+        pool: WorkerPool,
+        payload: dict | None = None,
+    ) -> None:
+        # The base __init__ drives _enumerate_pairs, so the fan-out
+        # knobs must exist first.  ``payload`` should be the same dict
+        # the graph build shipped, so the pool reuses its workers.
+        self.shards = shards
+        self.pool = pool
+        self.payload = payload
+        super().__init__(index, graph)
+
+    def _enumerate_pairs(self) -> tuple[np.ndarray, np.ndarray]:
+        payload = self.payload
+        if payload is None:
+            # Standalone use (no shared graph payload): ship only what
+            # block_pairs_task reads.
+            from repro.core.profiles import ERType
+
+            index = self.index
+            payload = {
+                "bp_indptr": index.bp_indptr,
+                "bp_indices": index.bp_indices,
+                "cardinalities": index.block_cardinalities,
+                "sources": index.sources,
+                "clean_clean": index.store.er_type is ERType.CLEAN_CLEAN,
+            }
+            self.payload = payload
+        # block_indptr cumsums block cardinalities, i.e. each block's
+        # comparison count - the exact pair-generation mass.
+        plan = ShardPlan.balanced(self.block_indptr, self.shards)
+        outputs = self.pool.run(block_pairs_task, payload, plan.ranges())
+        live = [out for out in outputs if out[0].size]
+        if not live:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        return (
+            np.concatenate([out[0] for out in live]),
+            np.concatenate([out[1] for out in live]),
+        )

@@ -1,0 +1,92 @@
+"""Sharded window scoring for the similarity methods (LS/GS-PSN).
+
+:class:`ParallelPSNCore` subclasses the sequential
+:class:`~repro.engine.similarity.ArrayPSNCore` and shards both halves of
+the window pass:
+
+* **counting** - the Neighbor List positions split into contiguous
+  ranges; each worker counts the co-occurrence events its positions own
+  (across the whole requested distance range) and returns grouped
+  ``(key, count)`` arrays, which sum-merge into exactly the sequential
+  single-pass ``np.unique`` (integer counts commute);
+* **ranking** - weights are finalized elementwise in the parent (they
+  depend on per-profile appearance counts, not on the sharding), then
+  contiguous slices of the key-sorted pairs are stable-sorted by
+  descending weight per shard and k-way merged under the exact
+  ``(-weight, i, j)`` total order by
+  :class:`~repro.parallel.merge.ShardMerger`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.core.profiles import ProfileStore
+from repro.engine import require_numpy
+from repro.neighborlist.rcf import NeighborWeighting
+
+require_numpy("repro.parallel.similarity")
+
+import numpy as np  # noqa: E402  (guarded optional dependency)
+
+from repro.engine.similarity import ArrayPSNCore  # noqa: E402
+from repro.parallel.merge import ShardMerger, merge_grouped_counts  # noqa: E402
+from repro.parallel.plan import ShardPlan  # noqa: E402
+from repro.parallel.pool import WorkerPool  # noqa: E402
+from repro.parallel.tasks import ranked_sort_task, window_count_task  # noqa: E402
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.neighborlist.neighbor_list import NeighborList
+
+
+class ParallelPSNCore(ArrayPSNCore):
+    """Window scoring over one Neighbor List, sharded by positions."""
+
+    __slots__ = ("shards", "pool", "_count_payload")
+
+    def __init__(
+        self,
+        neighbor_list: "NeighborList",
+        store: ProfileStore,
+        weighting: NeighborWeighting,
+        shards: int,
+        pool: WorkerPool,
+    ) -> None:
+        super().__init__(neighbor_list, store, weighting)
+        self.shards = shards
+        self.pool = pool
+        # One payload object for the whole core: the pool re-ships only
+        # when the payload changes, so every window of an LS-PSN run
+        # reuses the same worker state.
+        self._count_payload = {
+            "entries": self.entries,
+            "sources": self._sources,
+            "clean_clean": self._clean_clean,
+            "n_profiles": self.n_profiles,
+        }
+
+    def pair_frequencies(
+        self, distances: Sequence[int]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        plan = ShardPlan.uniform(int(self.entries.size), self.shards)
+        args = [
+            (lo, hi, tuple(int(d) for d in distances))
+            for lo, hi in plan.ranges()
+        ]
+        grouped = self.pool.run(window_count_task, self._count_payload, args)
+        keys, counts = merge_grouped_counts(grouped)
+        return keys // self.n_profiles, keys % self.n_profiles, counts
+
+    def window_arrays(
+        self, distances: Sequence[int]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        i, j, frequencies = self.pair_frequencies(distances)
+        weights = self._vector_weights(i, j, frequencies)
+        if i.size == 0:
+            return i, j, weights.astype(np.float64)
+        plan = ShardPlan.uniform(int(i.size), self.shards)
+        chunks = [
+            (i[lo:hi], j[lo:hi], weights[lo:hi]) for lo, hi in plan.ranges()
+        ]
+        ranked = self.pool.run_transient(ranked_sort_task, chunks)
+        return ShardMerger.merge(ranked)

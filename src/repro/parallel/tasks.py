@@ -1,0 +1,274 @@
+"""Shard task functions executed by the :class:`~repro.parallel.pool.WorkerPool`.
+
+Every function here is a module-level ``task(payload, shard_arg)`` so it
+pickles by reference into worker processes.  Each one is the *restriction
+of a sequential engine pass to a contiguous shard*: the sequential
+kernels in :mod:`repro.engine` walk their event streams row-major, so a
+contiguous row range owns a contiguous slice of that stream, per-key
+accumulation order is preserved inside the shard, and concatenating (or
+k-way merging) per-shard outputs in plan order reproduces the sequential
+arrays bit for bit.  The inline (``workers=0``) and process modes run
+exactly this code either way.
+
+Payloads are plain dicts of numpy arrays plus scalars - pickle- and
+memmap-shippable by construction (see :mod:`repro.parallel.pool`).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.engine import require_numpy
+
+require_numpy("repro.parallel.tasks")
+
+import numpy as np  # noqa: E402  (guarded optional dependency)
+
+from repro.engine.csr import multi_arange  # noqa: E402
+
+
+def _empty_rows(lo: int, hi: int) -> dict[str, Any]:
+    return {
+        "row_lengths": np.zeros(hi - lo, dtype=np.int64),
+        "neighbors": np.empty(0, dtype=np.int64),
+        "raw": np.empty(0, dtype=np.float64),
+        "first": np.empty(0, dtype=np.int64),
+        "valid_count": 0,
+    }
+
+
+def graph_rows_task(payload: dict[str, Any], shard: tuple[int, int]) -> dict[str, Any]:
+    """Blocking-Graph rows of the owners in ``[lo, hi)``.
+
+    The restriction of :meth:`ArrayBlockingGraph._build_rows
+    <repro.engine.weights.ArrayBlockingGraph>` to one owner shard: the
+    shard's (owner, block, member) expansion is the contiguous slice of
+    the global event stream owned by those profiles, and an edge's owner
+    lives in exactly one shard, so the per-edge ``bincount``
+    accumulation adds the same contributions in the same order as the
+    sequential pass.  ``first`` holds first-encounter positions local to
+    the shard's valid-event stream; the parent offsets them by the
+    preceding shards' ``valid_count`` to recover the global indexes.
+    """
+    lo, hi = shard
+    if hi <= lo:
+        return _empty_rows(lo, hi)
+    n = payload["n"]
+    pb_indptr = payload["pb_indptr"]
+    pb_indices = payload["pb_indices"]
+    bp_indptr = payload["bp_indptr"]
+    bp_indices = payload["bp_indices"]
+    contributions = payload["contributions"]
+    sources = payload["sources"]
+    clean_clean = payload["clean_clean"]
+    block_sizes = np.diff(bp_indptr)
+
+    row_ptr = np.asarray(pb_indptr[lo : hi + 1])
+    incidence = np.asarray(pb_indices[row_ptr[0] : row_ptr[-1]])
+    incidence_counts = block_sizes[incidence]
+    owners = np.repeat(
+        np.repeat(np.arange(lo, hi, dtype=np.int64), np.diff(row_ptr)),
+        incidence_counts,
+    )
+    neighbors = bp_indices[multi_arange(bp_indptr[incidence], incidence_counts)]
+    contribution = np.repeat(contributions[incidence], incidence_counts)
+
+    valid = neighbors != owners
+    if clean_clean:
+        valid &= sources[neighbors] != sources[owners]
+    owners = owners[valid]
+    neighbors = neighbors[valid]
+    contribution = contribution[valid]
+    if owners.size == 0:
+        return _empty_rows(lo, hi)
+
+    keys = owners * n + neighbors
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    group_heads = np.empty(sorted_keys.size, dtype=bool)
+    group_heads[0] = True
+    np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=group_heads[1:])
+    unique_keys = sorted_keys[group_heads]
+    ranks = np.empty(keys.size, dtype=np.int64)
+    ranks[order] = np.cumsum(group_heads) - 1
+    raw = np.bincount(ranks, weights=contribution, minlength=unique_keys.size)
+
+    return {
+        "row_lengths": np.bincount(unique_keys // n - lo, minlength=hi - lo),
+        "neighbors": unique_keys % n,
+        "raw": raw,
+        "first": order[group_heads],
+        "valid_count": int(owners.size),
+    }
+
+
+def block_pairs_task(
+    payload: dict[str, Any], shard: tuple[int, int]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Canonical block-comparison pairs of the blocks in ``[blo, bhi)``.
+
+    The restriction of :meth:`ArrayPBSCore._enumerate_pairs
+    <repro.engine.equality.ArrayPBSCore>` to one block shard.  Pair
+    generation is per block (shape batching is only a grouping of the
+    work), so the shard's block-major output is the contiguous slice of
+    the sequential event arrays owned by those blocks.
+    """
+    blo, bhi = shard
+    empty = np.empty(0, dtype=np.int64)
+    if bhi <= blo:
+        return empty, empty
+    bp_indptr = payload["bp_indptr"]
+    bp_indices = payload["bp_indices"]
+    cardinalities = np.asarray(payload["cardinalities"][blo:bhi])
+    sources = payload["sources"]
+    clean_clean = payload["clean_clean"]
+
+    sizes = np.asarray(np.diff(bp_indptr)[blo:bhi])
+    indptr = np.zeros(bhi - blo + 1, dtype=np.int64)
+    np.cumsum(cardinalities, out=indptr[1:])
+    total = int(indptr[-1])
+    if total == 0:
+        return empty, empty
+    pair_i = np.empty(total, dtype=np.int64)
+    pair_j = np.empty(total, dtype=np.int64)
+
+    if clean_clean:
+        left_sizes = np.zeros(bhi - blo, dtype=np.int64)
+        entry_owners = np.repeat(np.arange(bhi - blo, dtype=np.int64), sizes)
+        members_all = np.asarray(bp_indices[bp_indptr[blo] : bp_indptr[bhi]])
+        np.add.at(left_sizes, entry_owners, sources[members_all] == 0)
+        shapes = left_sizes * (int(sizes.max()) + 1) + sizes
+    else:
+        shapes = sizes
+
+    for shape in np.unique(shapes):
+        batch = np.nonzero((shapes == shape) & (cardinalities > 0))[0]
+        if batch.size == 0:
+            continue
+        size = int(sizes[batch[0]])
+        members = bp_indices[
+            multi_arange(bp_indptr[blo + batch], np.full(batch.size, size))
+        ].reshape(batch.size, size)
+        if clean_clean:
+            split = int(left_sizes[batch[0]])
+            order = np.argsort(sources[members], axis=1, kind="stable")
+            members = np.take_along_axis(members, order, axis=1)
+            left, right = members[:, :split], members[:, split:]
+            raw_i = np.repeat(left, size - split, axis=1).ravel()
+            raw_j = np.tile(right, (1, split)).ravel()
+        else:
+            a, b = np.triu_indices(size, 1)
+            raw_i = members[:, a].ravel()
+            raw_j = members[:, b].ravel()
+        slots = multi_arange(
+            indptr[batch], np.full(batch.size, int(cardinalities[batch[0]]))
+        )
+        pair_i[slots] = np.minimum(raw_i, raw_j)
+        pair_j[slots] = np.maximum(raw_i, raw_j)
+    return pair_i, pair_j
+
+
+def window_count_task(
+    payload: dict[str, Any], shard: tuple[int, int, tuple[int, ...]]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Grouped co-occurrence counts of one Neighbor-List position shard.
+
+    The restriction of :meth:`ArrayPSNCore.pair_frequencies
+    <repro.engine.similarity.ArrayPSNCore>`: for window distance ``d``
+    the events are the aligned pairs ``(entries[p], entries[p + d])``;
+    the shard owns positions ``p`` in ``[lo, hi)``.  Counts are integer
+    and per-pair disjoint events, so the parent's sum-merge equals the
+    sequential single-pass ``np.unique``.
+    """
+    lo, hi, distances = shard
+    entries = payload["entries"]
+    sources = payload["sources"]
+    clean_clean = payload["clean_clean"]
+    n = payload["n_profiles"]
+    size = entries.shape[0]
+    key_chunks: list[np.ndarray] = []
+    for distance in distances:
+        if distance < 1 or distance >= size:
+            continue
+        stop = min(hi, size - distance)
+        if lo >= stop:
+            continue
+        a = np.asarray(entries[lo:stop])
+        b = np.asarray(entries[lo + distance : stop + distance])
+        if clean_clean:
+            valid = sources[a] != sources[b]
+        else:
+            valid = a != b
+        low = np.minimum(a[valid], b[valid])
+        high = np.maximum(a[valid], b[valid])
+        key_chunks.append(low * n + high)
+    if not key_chunks:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    keys = key_chunks[0] if len(key_chunks) == 1 else np.concatenate(key_chunks)
+    return np.unique(keys, return_counts=True)
+
+
+def ranked_sort_task(
+    chunk: tuple[np.ndarray, np.ndarray, np.ndarray],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Rank one contiguous slice of scored pairs by ``(-weight, i, j)``.
+
+    A *transient* task (the chunk carries its own data): the ``i``/``j``
+    slices are key-sorted (ascending canonical pair), so a stable sort
+    on descending weight leaves ties in ascending ``(i, j)`` - the full
+    emission order within the shard; the parent's
+    :meth:`~repro.parallel.merge.ShardMerger.merge` interleaves shards
+    under the same key.
+    """
+    i, j, weights = chunk
+    order = np.argsort(-weights, kind="stable")
+    return i[order], j[order], weights[order]
+
+
+def pps_schedule_task(
+    chunk: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, int],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One schedule-rank range of the PPS emission (Algorithm 6).
+
+    A *transient* task over the kept Blocking-Graph edges of one whole
+    rank-group range, pre-sorted by owner rank.  Inside the shard this
+    is exactly the sequential :meth:`ArrayPPSCore.emit_schedule
+    <repro.engine.equality.ArrayPPSCore>` math - lexsort by
+    ``(rank, -weight, neighbor)``, truncate each owner segment at
+    ``k`` - and rank ranges are disjoint and ordered, so the parent
+    just concatenates shard outputs.
+    """
+    owner, neighbor, weight, rank, k = chunk
+    empty = np.empty(0, dtype=np.int64)
+    if rank.size == 0:
+        return empty, empty, np.empty(0, dtype=np.float64)
+
+    emission_order = np.lexsort((neighbor, -weight, rank))
+    segment_rank = rank[emission_order]
+    heads = np.empty(segment_rank.size, dtype=bool)
+    heads[0] = True
+    np.not_equal(segment_rank[1:], segment_rank[:-1], out=heads[1:])
+    positions = np.arange(segment_rank.size, dtype=np.int64)
+    segment_starts = np.maximum.accumulate(np.where(heads, positions, 0))
+    selected = emission_order[positions - segment_starts < k]
+
+    i = np.minimum(owner[selected], neighbor[selected])
+    j = np.maximum(owner[selected], neighbor[selected])
+    return i, j, weight[selected]
+
+
+def probe_score_task(payload: dict[str, Any], chunk: list[Any]) -> list[Any]:
+    """Score a chunk of read-only probes against a shipped live index.
+
+    The payload carries a pickled snapshot of the incremental session's
+    token index and weighter (listener-free copies); each worker probes
+    its own copy - enter, score, roll back - so chunks are independent
+    and results line up with a sequential ``resolve_one(ingest=False)``
+    per item.
+    """
+    from repro.incremental.resolver import score_probe
+
+    index = payload["index"]
+    weighter = payload["weighter"]
+    return [score_probe(index, weighter, probe) for probe in chunk]

@@ -15,6 +15,7 @@ from repro.pipeline.config import (
     MatcherConfig,
     MetaBlockingConfig,
     MethodConfig,
+    ParallelConfig,
     PipelineConfig,
 )
 from repro.pipeline.facade import ResolutionResult, resolve
@@ -33,4 +34,5 @@ __all__ = [
     "MatcherConfig",
     "BudgetConfig",
     "IncrementalConfig",
+    "ParallelConfig",
 ]

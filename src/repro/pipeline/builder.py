@@ -34,6 +34,7 @@ from repro.pipeline.config import (
     MatcherConfig,
     MetaBlockingConfig,
     MethodConfig,
+    ParallelConfig,
     PipelineConfig,
 )
 from repro.pipeline.resolver import Resolver
@@ -153,6 +154,41 @@ class ERPipeline:
         from repro.registry import backends
 
         self._config.backend = backends.canonical(name)
+        return self
+
+    def parallel(
+        self,
+        workers: int | None = None,
+        shards: int | None = None,
+        *,
+        ship: str = "pickle",
+        enabled: bool = True,
+    ) -> "ERPipeline":
+        """Shard backend-aware methods across worker processes.
+
+        Sets the backend to ``"numpy-parallel"`` and records the
+        fan-out knobs: ``workers`` processes (``None`` - one per
+        visible core at build time; ``0`` - run the shard code inline),
+        ``shards`` ranges per fan-out (``None`` - match the worker
+        count), ``ship`` payload transport (``"pickle"``/``"memmap"``).
+        The emission stream is bit-identical to ``backend("numpy")`` -
+        only the wall clock changes.  ``enabled=False`` removes the
+        stage and falls back to the sequential numpy backend.
+
+        >>> from repro import ERPipeline
+        >>> spec = ERPipeline().method("PPS").parallel(workers=2).to_dict()
+        >>> spec["backend"], spec["parallel"]["workers"]
+        ('numpy-parallel', 2)
+        """
+        if not enabled:
+            self._config.parallel = None
+            if self._config.backend == "numpy-parallel":
+                self._config.backend = "numpy"
+            return self
+        self._config.parallel = ParallelConfig(
+            workers=workers, shards=shards, ship=ship
+        )
+        self._config.backend = "numpy-parallel"
         return self
 
     def incremental(
@@ -280,6 +316,11 @@ def _snapshot(config: PipelineConfig) -> PipelineConfig:
             None
             if config.incremental is None
             else dataclasses.replace(config.incremental)
+        ),
+        parallel=(
+            None
+            if config.parallel is None
+            else dataclasses.replace(config.parallel)
         ),
     )
 

@@ -193,15 +193,55 @@ class IncrementalConfig:
 
 
 @dataclass
+class ParallelConfig:
+    """Optional stage: shard the array engine across worker processes.
+
+    Applies when ``backend`` is ``"numpy-parallel"`` (the
+    ``.parallel(...)`` builder stage sets both together): methods then
+    receive a configured
+    :class:`~repro.parallel.backend.ParallelBackend` instead of a bare
+    registry name.
+
+    ``workers=None`` resolves to one process per visible core at build
+    time (kept as ``None`` in the spec, so a config written on a
+    16-core box does the right thing on a 4-core one);
+    ``workers=0`` runs the shard code inline, single-process.
+    ``shards=None`` matches the resolved worker count.  ``ship``
+    selects the payload transport (``"pickle"`` or ``"memmap"``; see
+    :mod:`repro.parallel.pool`).
+    """
+
+    workers: int | None = None
+    shards: int | None = None
+    ship: str = "pickle"
+
+    def __post_init__(self) -> None:
+        if self.workers is not None and self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers!r}")
+        if self.shards is not None and self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards!r}")
+        if self.ship not in ("pickle", "memmap"):
+            raise ValueError(
+                f"ship must be 'pickle' or 'memmap', got {self.ship!r}"
+            )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ParallelConfig":
+        _reject_unknown_keys("parallel", data, ("workers", "shards", "ship"))
+        return cls(**dict(data))
+
+
+@dataclass
 class PipelineConfig:
     """The full pipeline spec: one dataclass per stage, dict round-trip.
 
     ``backend`` selects the execution engine for methods that support
     the seam (PPS/PBS/LS-PSN/GS-PSN): ``"python"`` is the reference
     implementation, ``"numpy"`` the CSR/array engine (``repro[speed]``
-    extra).  Validation only canonicalizes the name; availability is
-    checked when the method is built, so specs stay portable to
-    machines without numpy.
+    extra), ``"numpy-parallel"`` the CSR engine sharded across worker
+    processes (configured by the ``parallel`` stage).  Validation only
+    canonicalizes the name; availability is checked when the method is
+    built, so specs stay portable to machines without numpy.
     """
 
     blocking: BlockingConfig = field(default_factory=BlockingConfig)
@@ -211,6 +251,7 @@ class PipelineConfig:
     budget: BudgetConfig = field(default_factory=BudgetConfig)
     backend: str = "python"
     incremental: IncrementalConfig | None = None
+    parallel: ParallelConfig | None = None
 
     def __post_init__(self) -> None:
         self.backend = backends.canonical(self.backend)
@@ -227,6 +268,9 @@ class PipelineConfig:
             "incremental": (
                 None if self.incremental is None else asdict(self.incremental)
             ),
+            "parallel": (
+                None if self.parallel is None else asdict(self.parallel)
+            ),
         }
 
     @classmethod
@@ -242,10 +286,12 @@ class PipelineConfig:
                 "budget",
                 "backend",
                 "incremental",
+                "parallel",
             ),
         )
         matcher = data.get("matcher")
         incremental = data.get("incremental")
+        parallel = data.get("parallel")
         return cls(
             blocking=BlockingConfig.from_dict(data.get("blocking", {})),
             meta=MetaBlockingConfig.from_dict(data.get("meta", {})),
@@ -257,5 +303,8 @@ class PipelineConfig:
                 None
                 if incremental is None
                 else IncrementalConfig.from_dict(incremental)
+            ),
+            parallel=(
+                None if parallel is None else ParallelConfig.from_dict(parallel)
             ),
         )

@@ -55,6 +55,8 @@ def resolve(
     filter_ratio: bool | float | None = 0.8,
     weighting: str = "ARCS",
     backend: str = "python",
+    workers: int | None = None,
+    shards: int | None = None,
     ground_truth: GroundTruth | None = None,
     **method_params: Any,
 ) -> ResolutionResult:
@@ -76,8 +78,15 @@ def resolve(
         Substrate knobs for the equality-based methods.
     backend:
         Execution backend for backend-aware methods: ``"python"``
-        (reference) or ``"numpy"`` (CSR/array engine, ``repro[speed]``
-        extra) - e.g. ``resolve(data, method="PPS", backend="numpy")``.
+        (reference), ``"numpy"`` (CSR/array engine, ``repro[speed]``
+        extra) or ``"numpy-parallel"`` (the CSR engine sharded across
+        worker processes) - e.g. ``resolve(data, method="PPS",
+        backend="numpy-parallel", workers=4)``.
+    workers, shards:
+        Fan-out knobs for the parallel backend (see
+        :meth:`ERPipeline.parallel`); passing either implies
+        ``backend="numpy-parallel"``.  ``workers=0`` runs the shard
+        code inline - same stream, no processes.
     method_params:
         Forwarded to the method constructor (e.g. ``k_max=20``).
 
@@ -118,6 +127,12 @@ def resolve(
             comparisons=budget, seconds=seconds, target_recall=target_recall
         )
     )
+    if (
+        workers is not None
+        or shards is not None
+        or pipeline.config.backend == "numpy-parallel"
+    ):
+        pipeline.parallel(workers, shards)
     if matcher is not None:
         pipeline.matcher(matcher, **(matcher_params or {}))
     elif matcher_params:

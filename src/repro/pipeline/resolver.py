@@ -139,6 +139,21 @@ class Resolver:
     def _method_wants_blocks(self) -> bool:
         return progressive_methods.accepts(self.config.method.name, "blocks")
 
+    def _method_backend(self) -> "str | object":
+        """What to hand a method's ``backend=``: the spec's name, or -
+        for a configured parallel stage - a live
+        :class:`~repro.parallel.backend.ParallelBackend` carrying the
+        ``workers``/``shards``/``ship`` knobs (methods accept backend
+        instances as well as registry names)."""
+        spec = self.config.parallel
+        if spec is None or self.config.backend != "numpy-parallel":
+            return self.config.backend
+        from repro.parallel.backend import ParallelBackend
+
+        return ParallelBackend(
+            workers=spec.workers, shards=spec.shards, ship=spec.ship
+        )
+
     @property
     def blocks(self) -> BlockCollection | None:
         """The blocking-stage output (None for methods that do not consume
@@ -192,7 +207,7 @@ class Resolver:
         # the backend seam: only methods that declare it get the engine
         # selection; the rest (PSN, SA-PSN, SA-PSAB) stay backend-free
         if progressive_methods.accepts(name, "backend"):
-            kwargs.setdefault("backend", self.config.backend)
+            kwargs.setdefault("backend", self._method_backend())
         if (
             self._psn_key is not None
             and progressive_methods.accepts(name, "key_function")

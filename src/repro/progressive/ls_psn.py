@@ -26,10 +26,11 @@ from repro.core.tokenization import DEFAULT_TOKENIZER, Tokenizer
 from repro.neighborlist.neighbor_list import NeighborList
 from repro.neighborlist.position_index import PositionIndex
 from repro.neighborlist.rcf import NeighborWeighting, make_neighbor_weighting
+from repro.engine import get_backend
 from repro.progressive.base import ProgressiveMethod, register_method
-from repro.registry import backends
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine import Backend
     from repro.engine.similarity import ArrayPSNCore
 
 
@@ -43,7 +44,7 @@ class _SimilarityBase(ProgressiveMethod):
         weighting: str | NeighborWeighting = "RCF",
         tie_order: str = "random",
         seed: int | None = 0,
-        backend: str = "python",
+        backend: "str | Backend" = "python",
     ) -> None:
         super().__init__(store)
         self.tokenizer = tokenizer
@@ -52,7 +53,7 @@ class _SimilarityBase(ProgressiveMethod):
             if isinstance(weighting, NeighborWeighting)
             else make_neighbor_weighting(weighting)
         )
-        self.backend = backends.build(backend).require()
+        self.backend = get_backend(backend).require()
         self.tie_order = tie_order
         self.seed = seed
         self.neighbor_list: NeighborList | None = None
@@ -68,9 +69,9 @@ class _SimilarityBase(ProgressiveMethod):
             seed=self.seed,
         )
         if self.backend.vectorized:
-            from repro.engine.similarity import ArrayPSNCore
-
-            core = ArrayPSNCore(self.neighbor_list, self.store, self.weighting)
+            core = self.backend.psn_core(
+                self.neighbor_list, self.store, self.weighting
+            )
             self._core = core
             self.position_index = core.position_index  # type: ignore[assignment]
             return

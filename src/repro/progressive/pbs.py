@@ -27,10 +27,11 @@ from repro.core.profiles import ProfileStore
 from repro.core.tokenization import DEFAULT_TOKENIZER, Tokenizer
 from repro.metablocking.profile_index import ProfileIndex
 from repro.metablocking.weights import WeightingScheme, make_scheme
+from repro.engine import get_backend
 from repro.progressive.base import ProgressiveMethod, register_method
-from repro.registry import backends
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine import Backend
     from repro.engine.equality import ArrayPBSCore
 
 
@@ -67,11 +68,11 @@ class PBS(ProgressiveMethod):
         tokenizer: Tokenizer = DEFAULT_TOKENIZER,
         purge_ratio: float | None = 0.1,
         filter_ratio: float | None = 0.8,
-        backend: str = "python",
+        backend: "str | Backend" = "python",
     ) -> None:
         super().__init__(store)
         self.weighting_name = weighting
-        self.backend = backends.build(backend).require()
+        self.backend = get_backend(backend).require()
         self._input_blocks = blocks
         self.tokenizer = tokenizer
         self.purge_ratio = purge_ratio
@@ -92,12 +93,9 @@ class PBS(ProgressiveMethod):
             )
         self.scheduled = block_scheduling(blocks)
         if self.backend.vectorized:
-            from repro.engine.equality import ArrayPBSCore
-            from repro.engine.weights import ArrayBlockingGraph
-
             index = self.backend.profile_index(self.scheduled)
-            graph = ArrayBlockingGraph(index, self.weighting_name)
-            self._core = ArrayPBSCore(index, graph)
+            graph = self.backend.blocking_graph(index, self.weighting_name)
+            self._core = self.backend.pbs_core(index, graph)
             self.profile_index = index  # type: ignore[assignment]
             self.scheme = graph  # type: ignore[assignment]
             return

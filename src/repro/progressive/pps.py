@@ -40,10 +40,11 @@ from repro.core.profiles import ProfileStore
 from repro.core.tokenization import DEFAULT_TOKENIZER, Tokenizer
 from repro.metablocking.profile_index import ProfileIndex
 from repro.metablocking.weights import WeightingScheme, make_scheme
+from repro.engine import get_backend
 from repro.progressive.base import ProgressiveMethod, register_method
-from repro.registry import backends
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine import Backend
     from repro.engine.equality import ArrayPPSCore
 
 
@@ -73,9 +74,12 @@ class PPS(ProgressiveMethod):
         Append a tail draining all remaining distinct comparisons, making
         the eventual output identical to batch ER on the same blocks.
     backend:
-        Execution backend: ``"python"`` (reference) or ``"numpy"`` (CSR
-        engine, requires the ``repro[speed]`` extra); same stream either
-        way.
+        Execution backend: ``"python"`` (reference), ``"numpy"`` (CSR
+        engine, requires the ``repro[speed]`` extra) or
+        ``"numpy-parallel"`` (the CSR engine sharded across worker
+        processes; also accepts a configured
+        :class:`~repro.parallel.backend.ParallelBackend` instance);
+        same stream every way.
     """
 
     name = "PPS"
@@ -90,13 +94,13 @@ class PPS(ProgressiveMethod):
         purge_ratio: float | None = 0.1,
         filter_ratio: float | None = 0.8,
         exhaustive: bool = False,
-        backend: str = "python",
+        backend: "str | Backend" = "python",
     ) -> None:
         if k_max is not None and k_max < 1:
             raise ValueError("k_max must be positive")
         super().__init__(store)
         self.weighting_name = weighting
-        self.backend = backends.build(backend).require()
+        self.backend = get_backend(backend).require()
         self.k_max = k_max
         self._input_blocks = blocks
         self.tokenizer = tokenizer
@@ -193,10 +197,14 @@ class PPS(ProgressiveMethod):
         self._initial_comparisons = initial
 
     def _setup_array(self, scheduled: BlockCollection) -> None:
-        """Initialization on the CSR engine (same phases, array passes)."""
-        from repro.engine.equality import ArrayPPSCore
+        """Initialization on the CSR engine (same phases, array passes).
 
-        core = ArrayPPSCore(scheduled, self.weighting_name, self.k_max)
+        The core comes through the backend seam, so the sequential
+        ``numpy`` backend and the sharded ``numpy-parallel`` backend
+        both land in the same emission machinery over bit-identical
+        structures.
+        """
+        core = self.backend.pps_core(scheduled, self.weighting_name, self.k_max)
         self._core = core
         self.k_max = core.k_max
         # API-compatible introspection: the CSR index and a scalar-capable

@@ -261,6 +261,7 @@ def _load_matchers() -> None:
 
 def _load_backends() -> None:
     import repro.engine  # noqa: F401  (registers python/numpy backends)
+    import repro.parallel.backend  # noqa: F401  (registers numpy-parallel)
 
 
 progressive_methods = ComponentRegistry(

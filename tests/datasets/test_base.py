@@ -7,7 +7,7 @@ import random
 import pytest
 
 from repro.core.profiles import ERType
-from repro.datasets.base import Dataset, cluster_sizes, scaled, shuffled_store
+from repro.datasets.base import cluster_sizes, scaled, shuffled_store
 from repro.datasets.registry import load_dataset
 
 

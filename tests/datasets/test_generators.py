@@ -26,8 +26,10 @@ SMALL_SCALES = {
 class TestRegistry:
     def test_all_seven_datasets(self):
         assert list_datasets() == [
+            # fmt: off
             "census", "restaurant", "cora", "cddb",
             "movies", "dbpedia", "freebase",
+            # fmt: on
         ]
         assert set(STRUCTURED_DATASETS) | set(HETEROGENEOUS_DATASETS) == set(
             list_datasets()

@@ -27,10 +27,12 @@ def dirty_dataset():
 def clean_clean_store() -> ProfileStore:
     """A synthetic Clean-clean store with overlapping token vocabulary."""
     rng = random.Random(7)
+    # fmt: off
     words = [
         "alpha", "beta", "gamma", "delta", "epsilon",
         "zeta", "eta", "theta", "iota", "kappa",
     ]
+    # fmt: on
 
     def record(k: int) -> dict[str, str]:
         return {

@@ -1,0 +1,159 @@
+"""The parity contract: ``numpy-parallel`` == ``numpy``, bit for bit.
+
+The acceptance property of the sharded execution layer: for every shard
+count x weighting scheme x method x ER type, the parallel backend emits
+the *same comparisons in the same order with the same weight bits* as
+the sequential numpy backend (which is itself parity-tested against the
+pure-Python reference under ``tests/engine``).
+
+The sweep runs the shard code inline (``workers=0``) - identical shard
+and merge code paths, no process transport - so the whole matrix stays
+fast; ``test_pool.py`` proves the transport separately.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.parallel.backend import ParallelBackend  # noqa: E402
+
+from .conftest import stream_prefix  # noqa: E402
+
+SHARD_COUNTS = (1, 2, 3, 7)
+GRAPH_SCHEMES = ("ARCS", "CBS", "ECBS", "JS", "EJS")
+PSN_SCHEMES = ("RCF", "CF")
+
+# (method, the weighting schemes it takes, extra params): the graph
+# methods take the five Blocking-Graph schemes, the sorted-neighborhood
+# methods the two co-occurrence schemes.
+CASES = [
+    ("PPS", GRAPH_SCHEMES, {}),
+    ("PBS", GRAPH_SCHEMES, {}),
+    ("ONLINE", GRAPH_SCHEMES, {}),
+    ("LS-PSN", PSN_SCHEMES, {"max_window": 6}),
+    ("GS-PSN", PSN_SCHEMES, {"max_window": 12}),
+]
+PARAMS = [
+    (method, scheme, params)
+    for method, schemes, params in CASES
+    for scheme in schemes
+]
+
+
+def parallel_backend(shards: int) -> ParallelBackend:
+    return ParallelBackend(workers=0, shards=shards)
+
+
+def assert_case(baseline_cache, store, key, method, scheme, params):
+    baseline = baseline_cache.get(key)
+    if baseline is None:
+        baseline = stream_prefix(
+            method, store, "numpy", weighting=scheme, **params
+        )
+        baseline_cache[key] = baseline
+    assert baseline, f"empty baseline stream for {key}"
+    for shards in SHARD_COUNTS:
+        parallel = stream_prefix(
+            method, store, parallel_backend(shards), weighting=scheme, **params
+        )
+        assert parallel == baseline, (
+            f"{method}/{scheme} with {shards} shards diverged from the "
+            "sequential numpy stream"
+        )
+
+
+@pytest.mark.parametrize(("method", "scheme", "params"), PARAMS)
+def test_dirty_er_streams_bit_identical(
+    dirty_dataset, baseline_cache, method, scheme, params
+):
+    assert_case(
+        baseline_cache,
+        dirty_dataset.store,
+        ("dirty", method, scheme),
+        method,
+        scheme,
+        params,
+    )
+
+
+@pytest.mark.parametrize(("method", "scheme", "params"), PARAMS)
+def test_clean_clean_streams_bit_identical(
+    clean_clean_store, baseline_cache, method, scheme, params
+):
+    assert_case(
+        baseline_cache,
+        clean_clean_store,
+        ("clean", method, scheme),
+        method,
+        scheme,
+        params,
+    )
+
+
+class TestDegenerate:
+    """Plans and corpora at the edges: empty shards, tiny stores."""
+
+    def test_more_shards_than_profiles(self):
+        from repro.core.profiles import ProfileStore
+
+        store = ProfileStore.from_attribute_maps(
+            [{"name": "Carl White NY"}, {"name": "Karl White NY"}]
+        )
+        baseline = stream_prefix("PPS", store, "numpy", purge_ratio=None)
+        sharded = stream_prefix(
+            "PPS", store, parallel_backend(16), purge_ratio=None
+        )
+        assert sharded == baseline and baseline
+
+    def test_single_profile_emits_nothing(self):
+        from repro.core.profiles import ProfileStore
+
+        store = ProfileStore.from_attribute_maps([{"name": "Carl White"}])
+        assert (
+            stream_prefix("PPS", store, parallel_backend(4), purge_ratio=None)
+            == []
+        )
+
+    def test_workers_exceed_profiles(self):
+        """A real pool larger than the corpus still merges correctly."""
+        from repro.core.profiles import ProfileStore
+
+        store = ProfileStore.from_attribute_maps(
+            [
+                {"name": "Carl White NY"},
+                {"name": "Karl White NY"},
+                {"name": "Ellen White ML"},
+            ]
+        )
+        backend = ParallelBackend(workers=4, shards=8)
+        try:
+            baseline = stream_prefix("PPS", store, "numpy", purge_ratio=None)
+            sharded = stream_prefix("PPS", store, backend, purge_ratio=None)
+        finally:
+            backend.close()
+        assert sharded == baseline and baseline
+
+    @pytest.mark.parametrize("method", ["PPS", "GS-PSN"])
+    def test_exhausts_identically(self, dirty_dataset, method):
+        """Both backends drain to the same total stream length."""
+        a = stream_prefix(method, dirty_dataset.store, "numpy")
+        b = stream_prefix(method, dirty_dataset.store, parallel_backend(3))
+        assert len(a) == len(b)
+
+
+class TestEvaluationParity:
+    def test_recall_curves_match(self, dirty_dataset):
+        from repro.pipeline import ERPipeline
+
+        curves = {}
+        for label, pipeline in {
+            "numpy": ERPipeline().method("PPS").backend("numpy"),
+            "parallel": ERPipeline().method("PPS").parallel(workers=0, shards=3),
+        }.items():
+            resolver = pipeline.fit(dirty_dataset)
+            curves[label] = resolver.evaluate(max_ec_star=5.0)
+        assert (
+            curves["numpy"].hit_positions == curves["parallel"].hit_positions
+        )

@@ -1,0 +1,85 @@
+"""ShardPlan: contiguity, coverage, balance and degenerate inputs."""
+
+from __future__ import annotations
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.parallel.plan import Shard, ShardPlan  # noqa: E402
+
+
+def indptr_of(masses):
+    indptr = np.zeros(len(masses) + 1, dtype=np.int64)
+    np.cumsum(np.asarray(masses, dtype=np.int64), out=indptr[1:])
+    return indptr
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("shards", [1, 2, 3, 7, 16])
+    def test_partition_covers_axis_exactly(self, shards):
+        rng = np.random.default_rng(3)
+        masses = rng.integers(0, 50, size=101)
+        plan = ShardPlan.balanced(indptr_of(masses), shards)
+        assert plan.shard_count == shards
+        assert plan.shards[0].lo == 0
+        assert plan.shards[-1].hi == 101
+        for left, right in zip(plan.shards, plan.shards[1:]):
+            assert left.hi == right.lo
+
+    def test_balance_within_one_max_row(self):
+        """No shard exceeds the ideal mass by more than one row's mass."""
+        rng = np.random.default_rng(5)
+        masses = rng.integers(1, 40, size=200)
+        indptr = indptr_of(masses)
+        shards = 4
+        plan = ShardPlan.balanced(indptr, shards)
+        ideal = int(masses.sum()) / shards
+        for shard, mass in zip(plan.shards, plan.masses(indptr)):
+            if len(shard):
+                assert mass <= ideal + masses[shard.lo : shard.hi].max()
+
+    def test_uniform_covers_and_orders(self):
+        plan = ShardPlan.uniform(10, 3)
+        assert plan.ranges() == [(0, 3), (3, 7), (7, 10)]
+        assert sum(len(shard) for shard in plan) == 10
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError):
+            ShardPlan([Shard(0, 2), Shard(3, 4)], 4)  # gap
+        with pytest.raises(ValueError):
+            ShardPlan([Shard(0, 2)], 4)  # short
+        with pytest.raises(ValueError):
+            ShardPlan.uniform(5, 0)
+        with pytest.raises(ValueError):
+            ShardPlan.balanced(indptr_of([1, 2]), 0)
+
+
+class TestDegenerate:
+    def test_more_shards_than_rows_yields_empty_shards(self):
+        plan = ShardPlan.balanced(indptr_of([4, 4]), 7)
+        assert plan.shard_count == 7
+        assert sum(len(shard) for shard in plan) == 2
+        assert len(plan.nonempty()) <= 2
+
+    def test_single_profile(self):
+        plan = ShardPlan.balanced(indptr_of([9]), 3)
+        assert plan.n == 1
+        assert sum(len(shard) for shard in plan) == 1
+
+    def test_empty_axis(self):
+        plan = ShardPlan.balanced(indptr_of([]), 3)
+        assert plan.n == 0
+        assert all(shard.empty for shard in plan)
+
+    def test_all_zero_masses(self):
+        plan = ShardPlan.balanced(indptr_of([0, 0, 0, 0]), 2)
+        assert plan.shards[-1].hi == 4
+
+    def test_one_huge_row_swallows_cuts(self):
+        """A row bigger than the ideal shard mass must not break
+        monotonicity; later shards just come back empty."""
+        plan = ShardPlan.balanced(indptr_of([1, 1000, 1, 1]), 4)
+        bounds = [shard.lo for shard in plan] + [plan.shards[-1].hi]
+        assert bounds == sorted(bounds)
+        assert sum(len(shard) for shard in plan) == 4

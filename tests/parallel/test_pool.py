@@ -1,0 +1,108 @@
+"""WorkerPool transport: real processes, both ship modes, reuse rules."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.parallel.pool import WorkerPool  # noqa: E402
+from repro.parallel.tasks import ranked_sort_task  # noqa: E402
+
+from .conftest import stream_prefix  # noqa: E402
+
+
+def doubler(payload, shard):
+    lo, hi = shard
+    return (np.asarray(payload["values"][lo:hi]) * 2, os.getpid())
+
+
+class TestInlineMode:
+    def test_workers_zero_runs_in_process(self):
+        pool = WorkerPool(0)
+        payload = {"values": np.arange(10)}
+        results = pool.run(doubler, payload, [(0, 5), (5, 10)])
+        assert [r[1] for r in results] == [os.getpid()] * 2
+        np.testing.assert_array_equal(results[1][0], np.arange(5, 10) * 2)
+
+    def test_single_shard_stays_inline_even_with_workers(self):
+        pool = WorkerPool(4)
+        try:
+            results = pool.run(doubler, {"values": np.arange(4)}, [(0, 4)])
+            assert results[0][1] == os.getpid()
+        finally:
+            pool.close()
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            WorkerPool(-1)
+        with pytest.raises(ValueError):
+            WorkerPool(2, ship="carrier-pigeon")
+
+
+class TestProcessMode:
+    @pytest.mark.parametrize("ship", ["pickle", "memmap"])
+    def test_results_in_shard_order_from_other_pids(self, ship):
+        payload = {"values": np.arange(100)}
+        with WorkerPool(2, ship=ship) as pool:
+            results = pool.run(
+                doubler, payload, [(0, 50), (50, 100), (20, 30)]
+            )
+            np.testing.assert_array_equal(
+                results[2][0], np.arange(20, 30) * 2
+            )
+            worker_pids = {r[1] for r in results}
+            assert os.getpid() not in worker_pids
+
+    def test_pool_reuse_and_reship(self):
+        payload_a = {"values": np.arange(8)}
+        payload_b = {"values": np.arange(8) + 100}
+        with WorkerPool(2) as pool:
+            first = pool.run(doubler, payload_a, [(0, 4), (4, 8)])
+            again = pool.run(doubler, payload_a, [(0, 4), (4, 8)])
+            switched = pool.run(doubler, payload_b, [(0, 4), (4, 8)])
+        np.testing.assert_array_equal(first[0][0], again[0][0])
+        assert switched[0][0][0] == 200
+
+    def test_transient_runs_reuse_live_pool(self):
+        chunks = [
+            (np.array([1, 0]), np.array([2, 3]), np.array([1.0, 5.0])),
+            (np.array([4]), np.array([5]), np.array([2.0])),
+        ]
+        with WorkerPool(2) as pool:
+            pool.run(doubler, {"values": np.arange(4)}, [(0, 2), (2, 4)])
+            ranked = pool.run_transient(ranked_sort_task, chunks)
+        assert ranked[0][2].tolist() == [5.0, 1.0]
+        assert ranked[1][0].tolist() == [4]
+
+
+class TestMethodsOverProcesses:
+    """End-to-end parity through a real pool (the transport proof; the
+    exhaustive matrix runs inline in test_parity.py)."""
+
+    @pytest.mark.parametrize("ship", ["pickle", "memmap"])
+    def test_pps_stream_over_pool(self, dirty_dataset, ship):
+        from repro.parallel.backend import ParallelBackend
+
+        backend = ParallelBackend(workers=2, shards=2, ship=ship)
+        try:
+            parallel = stream_prefix("PPS", dirty_dataset.store, backend)
+        finally:
+            backend.close()
+        assert parallel == stream_prefix("PPS", dirty_dataset.store, "numpy")
+
+    def test_gs_psn_stream_over_pool(self, dirty_dataset):
+        from repro.parallel.backend import ParallelBackend
+
+        backend = ParallelBackend(workers=2, shards=3)
+        try:
+            parallel = stream_prefix(
+                "GS-PSN", dirty_dataset.store, backend, max_window=8
+            )
+        finally:
+            backend.close()
+        assert parallel == stream_prefix(
+            "GS-PSN", dirty_dataset.store, "numpy", max_window=8
+        )

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.blocking.token_blocking import TokenBlocking
 from repro.core.profiles import ProfileStore
 from repro.progressive.pbs import PBS

@@ -86,8 +86,10 @@ class TestFigure3dNeighborList:
         nl = NeighborList.schema_agnostic(paper_profiles, tie_order="insertion")
         distinct_keys = sorted(set(nl.keys))
         assert distinct_keys == [
+            # fmt: off
             "carl", "ellen", "emma", "hellen", "karl", "ml",
             "ny", "tailor", "teacher", "white", "wi",
+            # fmt: on
         ]
 
     def test_positions_per_profile(self, paper_profiles):
