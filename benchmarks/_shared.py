@@ -109,6 +109,65 @@ def write_bench_json(payload: dict, path: str = BENCH_ENGINE_PATH) -> str:
     return path
 
 
+@lru_cache(maxsize=None)
+def pruning_blocks(dataset_name: str):
+    """The blocking-workflow output for the pruning cells (cached: the
+    pure-Python substrate is identical for every backend, so it is
+    excluded from the timed region)."""
+    from repro.blocking.workflow import token_blocking_workflow
+
+    return token_blocking_workflow(dataset(dataset_name).store)
+
+
+def timed_pruning_run(
+    algorithm: str,
+    dataset_name: str,
+    backend: str,
+    workers: int | None = None,
+):
+    """One (pruning algorithm, backend) measurement on one dataset.
+
+    Times :func:`repro.metablocking.prune` end to end on pre-built
+    blocks - scheduling, graph build/weighting, thresholding and the
+    final ranking - and digests the retained stream (order-sensitive),
+    so backend runs can be checked pair-for-pair like the engine cells.
+
+    Returns a dict shaped like :func:`timed_engine_run`'s, with the
+    method recorded as ``prune-<ALGORITHM>``.
+    """
+    import hashlib
+    import time
+
+    from repro.metablocking.pruning import prune
+
+    blocks = pruning_blocks(dataset_name)
+    if backend == "numpy-parallel":
+        from repro.parallel.backend import ParallelBackend
+
+        resolved = ParallelBackend(workers=workers)
+    else:
+        resolved = backend
+
+    started = time.perf_counter()
+    retained = prune(blocks, algorithm, "ARCS", backend=resolved)
+    elapsed = time.perf_counter() - started
+
+    digest = hashlib.blake2b(digest_size=16)
+    for comparison in retained:
+        digest.update(b"%d,%d;" % comparison.pair)
+    return {
+        "method": f"prune-{algorithm}",
+        "backend": backend,
+        "dataset": dataset_name,
+        "profiles": len(blocks.store),
+        "emitted": len(retained),
+        "stream_digest": digest.hexdigest(),
+        "init_seconds": 0.0,
+        "emission_seconds": elapsed,
+        "total_seconds": elapsed,
+    }
+
+
 def timed_engine_run(
     method_name: str,
     data: Dataset,

@@ -149,6 +149,13 @@ class Backend:
             f"backend {self.name!r} has no vectorized edge ranking"
         )
 
+    def pruned_edges(self, graph: Any, algorithm: str, k: int | None) -> Any:
+        """Meta-blocking pruning: the retained edges of ``graph`` under
+        ``algorithm`` (canonical name), ranked by ``(-weight, i, j)``."""
+        raise NotImplementedError(
+            f"backend {self.name!r} has no vectorized pruning kernels"
+        )
+
 
 class PythonBackend(Backend):
     """The pure-Python reference backend (always available)."""
@@ -221,6 +228,12 @@ class NumpyBackend(Backend):
         from repro.engine.topk import ranked_edges
 
         return ranked_edges(graph)
+
+    def pruned_edges(self, graph: Any, algorithm: str, k: int | None) -> Any:
+        self.require()
+        from repro.engine.pruning import prune_array_graph
+
+        return prune_array_graph(graph, algorithm, k)
 
 
 # Register instances (not classes): a backend is stateless configuration,

@@ -1,0 +1,199 @@
+"""Vectorized Meta-blocking pruning over an :class:`ArrayBlockingGraph`.
+
+Array kernels for the six pruning algorithms of
+:mod:`repro.metablocking.pruning` (WEP/CEP/WNP/CNP + the reciprocal
+node-pruning variants).  Each kernel reduces to
+
+* a boolean *retention mask* over the graph's canonical edge extraction
+  (:func:`pruned_mask`), and
+* one ranking pass of the survivors under the system-wide emission order
+  ``(-weight, i, j)`` (:func:`prune_array_graph`).
+
+Bit-exactness with the reference implementation is engineered, not
+hoped for:
+
+* edge weights come from :meth:`ArrayBlockingGraph.edges`, already
+  parity-proven against the reference ``scheme.weight(i, j)``;
+* the WEP mean accumulates sequentially over edges ascending ``(i, j)``
+  (``np.cumsum``), matching the reference's left-to-right sum;
+* WNP node thresholds accumulate each node's *canonical* edge weights in
+  ascending-neighbor order through one ``np.bincount`` over
+  ``(owner, neighbor)``-sorted directed entries - the same sequential
+  order the reference uses.  Canonical weights matter: a graph row
+  stores ``finalize(owner, neighbor)``, whose multiplication order can
+  differ in the last ulp from ``finalize(i, j)`` for the
+  logarithm-discounted schemes (ECBS/EJS), so the kernels scatter the
+  upper-triangle weights to both endpoints instead of reading rows;
+* CEP/CNP tie-breaks follow the exact ``(-weight, i, j)`` total order
+  (``np.lexsort`` / :func:`repro.engine.topk.top_k_pairs`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.engine import require_numpy
+from repro.engine.topk import sort_pairs_descending, top_k_pairs
+
+require_numpy("repro.engine.pruning")
+
+import numpy as np  # noqa: E402  (guarded optional dependency)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.weights import ArrayBlockingGraph
+
+#: One pruning result / input: parallel ``(i, j, weight)`` arrays.
+EdgeArrays = tuple[np.ndarray, np.ndarray, np.ndarray]
+
+
+def directed_entries(
+    i: np.ndarray, j: np.ndarray, weights: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Both directions of every edge, sorted by ``(owner, other)``.
+
+    Returns ``(owners, others, weights, edge_ids)`` where ``edge_ids``
+    index back into the input arrays.  Each owner's entries are
+    contiguous with others ascending - the canonical accumulation order
+    of the node-pruning kernels, and the axis the sharded versions
+    partition by owner.
+    """
+    m = i.size
+    edge_ids = np.arange(m, dtype=np.int64)
+    owners = np.concatenate([i, j])
+    others = np.concatenate([j, i])
+    doubled = np.concatenate([weights, weights])
+    ids = np.concatenate([edge_ids, edge_ids])
+    n = int(max(int(i.max()), int(j.max()))) + 1 if m else 0
+    order = np.argsort(owners * n + others, kind="stable")
+    return owners[order], others[order], doubled[order], ids[order]
+
+
+def node_thresholds(
+    owners: np.ndarray, weights: np.ndarray, n: int
+) -> np.ndarray:
+    """Per-node local mean weight (0.0 for isolated nodes).
+
+    ``owners``/``weights`` must be the ``(owner, other)``-sorted directed
+    entries: ``np.bincount`` then accumulates each node's weights
+    sequentially in ascending-neighbor order, bit-identical to the
+    reference loop.
+    """
+    counts = np.bincount(owners, minlength=n)
+    sums = np.bincount(owners, weights=weights, minlength=n)
+    thresholds = np.zeros(n, dtype=np.float64)
+    populated = counts > 0
+    np.divide(sums, counts, out=thresholds, where=populated)
+    return thresholds
+
+
+def node_topk_votes(
+    owners: np.ndarray,
+    weights: np.ndarray,
+    edge_ids: np.ndarray,
+    tie_i: np.ndarray,
+    tie_j: np.ndarray,
+    k: int,
+    edge_count: int,
+) -> np.ndarray:
+    """How many endpoints retain each edge in their local top-k (0..2).
+
+    ``tie_i``/``tie_j`` are the canonical pair coordinates of each
+    directed entry, so ties at equal weight break by ascending
+    ``(i, j)`` - the exact order of the reference's
+    ``heapq.nlargest(k, ..., key=(weight, -i, -j))``.  Selection uses
+    the segment-rank trick of the PPS emission kernel: sort by
+    ``(owner, -weight, i, j)``, keep ranks below ``k`` per owner
+    segment.
+    """
+    votes = np.zeros(edge_count, dtype=np.int64)
+    if owners.size == 0 or k <= 0:
+        return votes
+    order = np.lexsort((tie_j, tie_i, -weights, owners))
+    segment_owner = owners[order]
+    heads = np.empty(segment_owner.size, dtype=bool)
+    heads[0] = True
+    np.not_equal(segment_owner[1:], segment_owner[:-1], out=heads[1:])
+    positions = np.arange(segment_owner.size, dtype=np.int64)
+    segment_starts = np.maximum.accumulate(np.where(heads, positions, 0))
+    selected = order[positions - segment_starts < k]
+    np.add.at(votes, edge_ids[selected], 1)
+    return votes
+
+
+def wep_threshold(weights: np.ndarray) -> float:
+    """The WEP global mean, accumulated sequentially in input order.
+
+    Callers pass weights ascending ``(i, j)``; ``np.cumsum`` adds left
+    to right, reproducing the reference ``sum()`` bit for bit (where
+    ``np.sum``'s pairwise summation would not).
+    """
+    return float(np.cumsum(weights)[-1]) / weights.size
+
+
+def pruned_mask(
+    graph: "ArrayBlockingGraph", algorithm: str, k: int | None = None
+) -> np.ndarray:
+    """Boolean retention mask over ``graph.edges()`` for ``algorithm``.
+
+    ``algorithm`` must be a canonical name (``WEP``/``CEP``/``WNP``/
+    ``CNP``/``RWNP``/``RCNP`` - resolve spellings through
+    :data:`repro.registry.pruning_algorithms` first); the cardinality
+    algorithms require an explicit ``k``.
+    """
+    i, j, weights = graph.edges()
+    m = i.size
+    if m == 0:
+        return np.zeros(0, dtype=bool)
+    if algorithm == "WEP":
+        return weights >= wep_threshold(weights)
+    if algorithm == "CEP":
+        require_k(algorithm, k)
+        mask = np.zeros(m, dtype=bool)
+        mask[top_k_pairs(i, j, weights, int(k))] = True
+        return mask
+    n = graph.index.n_profiles
+    owners, others, doubled, edge_ids = directed_entries(i, j, weights)
+    if algorithm in ("WNP", "RWNP"):
+        thresholds = node_thresholds(owners, doubled, n)
+        clears_i = weights >= thresholds[i]
+        clears_j = weights >= thresholds[j]
+        return clears_i | clears_j if algorithm == "WNP" else clears_i & clears_j
+    if algorithm in ("CNP", "RCNP"):
+        require_k(algorithm, k)
+        votes = node_topk_votes(
+            owners, doubled, edge_ids, i[edge_ids], j[edge_ids], int(k), m
+        )
+        return votes >= 1 if algorithm == "CNP" else votes == 2
+    raise ValueError(
+        f"no array kernel for pruning algorithm {algorithm!r}; "
+        "expected one of WEP, CEP, WNP, CNP, RWNP, RCNP"
+    )
+
+
+def require_k(algorithm: str, k: int | None) -> None:
+    if k is None:
+        raise ValueError(
+            f"{algorithm} needs an explicit cardinality budget k "
+            "(the dispatcher computes the literature default)"
+        )
+
+
+def prune_array_graph(
+    graph: "ArrayBlockingGraph", algorithm: str, k: int | None = None
+) -> EdgeArrays:
+    """Retained edges of ``graph`` under ``algorithm``, ranked.
+
+    The output triple is ordered by ``(-weight, i, j)`` - the same
+    stream the reference implementation returns as a ``Comparison``
+    list, bit for bit.
+    """
+    i, j, weights = graph.edges()
+    if algorithm == "CEP":
+        # top_k_pairs already returns the ranked selection directly.
+        require_k(algorithm, k)
+        selected = top_k_pairs(i, j, weights, int(k))
+        return i[selected], j[selected], weights[selected]
+    mask = pruned_mask(graph, algorithm, k)
+    i, j, weights = i[mask], j[mask], weights[mask]
+    order = sort_pairs_descending(i, j, weights)
+    return i[order], j[order], weights[order]

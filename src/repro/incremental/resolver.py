@@ -135,6 +135,16 @@ class IncrementalResolver(Resolver):
                 "sessions - drop the .method(...) stage or resolve in "
                 "batch mode"
             )
+        if config.meta.pruning is not None:
+            # Graph pruning is batch-global (thresholds over the whole
+            # edge population); per-arrival emissions have no exact
+            # incremental counterpart, so refuse rather than half-apply.
+            raise ValueError(
+                "incremental sessions do not support Meta-blocking "
+                f"pruning; the configured {config.meta.pruning!r} stage "
+                "only applies to batch sessions - drop "
+                ".meta(pruning=...) or resolve in batch mode"
+            )
         # Purging precedence: the session knob, else the blocking
         # stage's ratio (applied query-time against the live corpus
         # size).  Filtering is batch-global and has no counterpart.

@@ -7,8 +7,12 @@ from repro.metablocking.blocking_graph import (
 )
 from repro.metablocking.profile_index import ProfileIndex, build_profile_index
 from repro.metablocking.pruning import (
+    available_pruning_algorithms,
     cardinality_edge_pruning,
     cardinality_node_pruning,
+    prune,
+    reciprocal_cardinality_node_pruning,
+    reciprocal_weighted_node_pruning,
     weighted_edge_pruning,
     weighted_node_pruning,
 )
@@ -29,8 +33,12 @@ __all__ = [
     "iter_edges",
     "ProfileIndex",
     "build_profile_index",
+    "available_pruning_algorithms",
     "cardinality_edge_pruning",
     "cardinality_node_pruning",
+    "prune",
+    "reciprocal_cardinality_node_pruning",
+    "reciprocal_weighted_node_pruning",
     "weighted_edge_pruning",
     "weighted_node_pruning",
     "ARCS",

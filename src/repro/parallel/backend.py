@@ -181,6 +181,16 @@ class ParallelBackend(NumpyBackend):
         ranked = self.pool().run_transient(ranked_sort_task, chunks)
         return ShardMerger.merge(ranked)
 
+    def pruned_edges(self, graph: Any, algorithm: str, k: int | None) -> Any:
+        """Meta-blocking pruning with node statistics computed per owner
+        shard and survivors re-ranked through the exact k-way merge."""
+        self.require()
+        from repro.parallel.pruning import sharded_pruned_edges
+
+        return sharded_pruned_edges(
+            graph, algorithm, k, shards=self.shards, pool=self.pool()
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"ParallelBackend(workers={self.workers}, "

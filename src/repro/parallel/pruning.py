@@ -1,0 +1,147 @@
+"""Sharded Meta-blocking pruning: the node kernels fanned out per owner.
+
+The sharded counterpart of :mod:`repro.engine.pruning`.  The expensive
+parts of graph pruning decompose along the same axes the rest of the
+parallel layer already uses:
+
+* the weighted Blocking Graph arrives pre-built (sharded, via
+  :func:`repro.parallel.graph.sharded_blocking_graph`);
+* node-pruning statistics (WNP local means, CNP per-node top-k) run per
+  *owner shard* of the ``(owner, other)``-sorted directed entries - an
+  owner's entries are contiguous, so per-node accumulation order and
+  top-k selection are exactly the sequential kernel's
+  (:func:`repro.parallel.tasks.node_threshold_task` /
+  :func:`~repro.parallel.tasks.node_topk_task`);
+* the survivors' final ranking reuses the per-shard stable sorts plus
+  the exact ``(-weight, i, j)`` k-way merge of
+  :class:`~repro.parallel.merge.ShardMerger`.
+
+Global scalar aggregates (the WEP mean, the CEP budget threshold) stay
+in the parent: one sequential ``cumsum``/``argpartition`` over the edge
+array costs far less than a fan-out would.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.engine import require_numpy
+
+require_numpy("repro.parallel.pruning")
+
+import numpy as np  # noqa: E402  (guarded optional dependency)
+
+from repro.engine.pruning import (  # noqa: E402
+    EdgeArrays,
+    require_k,
+    directed_entries,
+    wep_threshold,
+)
+from repro.engine.topk import top_k_pairs  # noqa: E402
+from repro.parallel.merge import ShardMerger  # noqa: E402
+from repro.parallel.plan import ShardPlan  # noqa: E402
+from repro.parallel.pool import WorkerPool  # noqa: E402
+from repro.parallel.tasks import (  # noqa: E402
+    node_threshold_task,
+    node_topk_task,
+    ranked_sort_task,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.weights import ArrayBlockingGraph
+
+
+def _empty() -> EdgeArrays:
+    empty = np.empty(0, dtype=np.int64)
+    return empty, empty, np.empty(0, dtype=np.float64)
+
+
+def _ranked(
+    i: np.ndarray,
+    j: np.ndarray,
+    weights: np.ndarray,
+    shards: int,
+    pool: WorkerPool,
+) -> EdgeArrays:
+    """Rank retained edges by ``(-weight, i, j)``: per-shard stable
+    sorts, k-way merged (the :meth:`ParallelBackend.ranked_edges`
+    recipe, applied to the survivors only)."""
+    if i.size == 0:
+        return _empty()
+    plan = ShardPlan.uniform(int(i.size), shards)
+    chunks = [(i[lo:hi], j[lo:hi], weights[lo:hi]) for lo, hi in plan.ranges()]
+    return ShardMerger.merge(pool.run_transient(ranked_sort_task, chunks))
+
+
+def _directed_payload(
+    i: np.ndarray, j: np.ndarray, weights: np.ndarray, n: int
+) -> dict:
+    """The resident worker payload of the node-pruning fan-outs."""
+    owners, _, doubled, edge_ids = directed_entries(i, j, weights)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(owners, minlength=n), out=indptr[1:])
+    return {
+        "owners": owners,
+        "doubled_weights": doubled,
+        "edge_ids": edge_ids,
+        "tie_i": i[edge_ids],
+        "tie_j": j[edge_ids],
+        "owner_indptr": indptr,
+    }
+
+
+def sharded_pruned_edges(
+    graph: "ArrayBlockingGraph",
+    algorithm: str,
+    k: int | None,
+    shards: int,
+    pool: WorkerPool,
+) -> EdgeArrays:
+    """Retained edges of ``graph`` under ``algorithm``, ranked, sharded.
+
+    Bit-identical to
+    :func:`repro.engine.pruning.prune_array_graph` for every shard
+    count; ``algorithm`` must be canonical and the cardinality
+    algorithms need their ``k`` resolved by the dispatcher.
+    """
+    i, j, weights = graph.edges()
+    m = int(i.size)
+    if m == 0:
+        return _empty()
+    n = graph.index.n_profiles
+
+    if algorithm == "WEP":
+        mask = weights >= wep_threshold(weights)
+    elif algorithm == "CEP":
+        # One argpartition in the parent selects and ranks the budget.
+        require_k(algorithm, k)
+        selected = top_k_pairs(i, j, weights, int(k))
+        return i[selected], j[selected], weights[selected]
+    elif algorithm in ("WNP", "RWNP"):
+        payload = _directed_payload(i, j, weights, n)
+        plan = ShardPlan.balanced(payload["owner_indptr"], shards)
+        results = pool.run(node_threshold_task, payload, plan.ranges())
+        sums = np.concatenate([result["sums"] for result in results])
+        counts = np.concatenate([result["counts"] for result in results])
+        thresholds = np.zeros(n, dtype=np.float64)
+        np.divide(sums, counts, out=thresholds, where=counts > 0)
+        clears_i = weights >= thresholds[i]
+        clears_j = weights >= thresholds[j]
+        mask = clears_i | clears_j if algorithm == "WNP" else clears_i & clears_j
+    elif algorithm in ("CNP", "RCNP"):
+        require_k(algorithm, k)
+        payload = _directed_payload(i, j, weights, n)
+        payload["k"] = int(k)
+        plan = ShardPlan.balanced(payload["owner_indptr"], shards)
+        selections = pool.run(node_topk_task, payload, plan.ranges())
+        votes = np.zeros(m, dtype=np.int64)
+        live = [chunk for chunk in selections if chunk.size]
+        if live:
+            np.add.at(votes, np.concatenate(live), 1)
+        mask = votes >= 1 if algorithm == "CNP" else votes == 2
+    else:
+        raise ValueError(
+            f"no sharded kernel for pruning algorithm {algorithm!r}; "
+            "expected one of WEP, CEP, WNP, CNP, RWNP, RCNP"
+        )
+    return _ranked(i[mask], j[mask], weights[mask], shards, pool)

@@ -209,6 +209,68 @@ def window_count_task(
     return np.unique(keys, return_counts=True)
 
 
+def node_threshold_task(
+    payload: dict[str, Any], shard: tuple[int, int]
+) -> dict[str, Any]:
+    """WNP local means of the owner nodes in ``[lo, hi)``.
+
+    The restriction of :func:`repro.engine.pruning.node_thresholds` to
+    one owner shard of the ``(owner, other)``-sorted directed entries:
+    every owner's entries are contiguous, so the shard-local
+    ``np.bincount`` adds exactly the same weights in the same
+    ascending-neighbor order as the sequential kernel - per-node sums
+    are bit-identical, and concatenating shard outputs in plan order
+    rebuilds the full threshold array.
+    """
+    lo, hi = shard
+    if hi <= lo:
+        return {
+            "sums": np.empty(0, dtype=np.float64),
+            "counts": np.empty(0, dtype=np.int64),
+        }
+    indptr = payload["owner_indptr"]
+    start, stop = int(indptr[lo]), int(indptr[hi])
+    owners = np.asarray(payload["owners"][start:stop]) - lo
+    weights = np.asarray(payload["doubled_weights"][start:stop])
+    return {
+        "sums": np.bincount(owners, weights=weights, minlength=hi - lo),
+        "counts": np.bincount(owners, minlength=hi - lo),
+    }
+
+
+def node_topk_task(payload: dict[str, Any], shard: tuple[int, int]) -> np.ndarray:
+    """CNP top-k selections (edge ids) of the owner nodes in ``[lo, hi)``.
+
+    The restriction of :func:`repro.engine.pruning.node_topk_votes` to
+    one owner shard: the lexsort by ``(owner, -weight, i, j)`` and the
+    segment-rank truncation at ``k`` only ever compare entries of the
+    same owner, and an owner lives in exactly one shard, so the union of
+    per-shard selections equals the sequential selection exactly.
+    """
+    lo, hi = shard
+    if hi <= lo:
+        return np.empty(0, dtype=np.int64)
+    indptr = payload["owner_indptr"]
+    start, stop = int(indptr[lo]), int(indptr[hi])
+    if start == stop:
+        return np.empty(0, dtype=np.int64)
+    owners = np.asarray(payload["owners"][start:stop])
+    weights = np.asarray(payload["doubled_weights"][start:stop])
+    edge_ids = np.asarray(payload["edge_ids"][start:stop])
+    tie_i = np.asarray(payload["tie_i"][start:stop])
+    tie_j = np.asarray(payload["tie_j"][start:stop])
+    k = payload["k"]
+
+    order = np.lexsort((tie_j, tie_i, -weights, owners))
+    segment_owner = owners[order]
+    heads = np.empty(segment_owner.size, dtype=bool)
+    heads[0] = True
+    np.not_equal(segment_owner[1:], segment_owner[:-1], out=heads[1:])
+    positions = np.arange(segment_owner.size, dtype=np.int64)
+    segment_starts = np.maximum.accumulate(np.where(heads, positions, 0))
+    return edge_ids[order[positions - segment_starts < k]]
+
+
 def ranked_sort_task(
     chunk: tuple[np.ndarray, np.ndarray, np.ndarray],
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:

@@ -82,6 +82,9 @@ class ERPipeline:
 
     def __init__(self, config: PipelineConfig | None = None) -> None:
         self._config = config if config is not None else PipelineConfig()
+        # Whether .backend(...) was called on *this* builder - the signal
+        # that a later .parallel(...) must not silently override it.
+        self._backend_explicit = False
 
     # -- stage configuration -------------------------------------------------
 
@@ -108,9 +111,33 @@ class ERPipeline:
         )
         return self
 
-    def meta(self, weighting: str = "ARCS") -> "ERPipeline":
-        """Configure Blocking Graph edge weighting (equality methods)."""
-        self._config.meta = MetaBlockingConfig(weighting=weighting)
+    def meta(
+        self,
+        weighting: str = "ARCS",
+        *,
+        pruning: str | None = None,
+        **params: Any,
+    ) -> "ERPipeline":
+        """Configure Blocking Graph edge weighting and optional pruning.
+
+        ``weighting`` selects the edge-weighting scheme the equality
+        methods rank by.  ``pruning`` names a Meta-blocking pruning
+        algorithm (``"WEP"``/``"CEP"``/``"WNP"``/``"CNP"`` or the
+        reciprocal ``"RWNP"``/``"RCNP"``, any spelling); when set, the
+        session's emission is restricted to the retained edges of the
+        pruned Blocking Graph (see
+        :meth:`~repro.pipeline.resolver.Resolver.pruned_comparisons`).
+        Extra ``params`` go to the algorithm - currently ``k``, the
+        cardinality budget of CEP/CNP/RCNP.
+
+        >>> from repro import ERPipeline
+        >>> spec = ERPipeline().meta("ARCS", pruning="cnp", k=3).to_dict()
+        >>> spec["meta"]
+        {'weighting': 'ARCS', 'pruning': 'CNP', 'params': {'k': 3}}
+        """
+        self._config.meta = MetaBlockingConfig(
+            weighting=weighting, pruning=pruning, params=params
+        )
         return self
 
     def method(self, name: str = "PPS", **params: Any) -> "ERPipeline":
@@ -150,10 +177,23 @@ class ERPipeline:
         (requires the ``repro[speed]`` extra) and emits the identical
         comparison stream.  Methods without a backend seam (PSN,
         SA-PSN, SA-PSAB) ignore the setting.
+
+        An explicit backend must agree with a configured ``.parallel``
+        stage: only ``"numpy-parallel"`` can drive worker processes, so
+        any other choice raises instead of silently dropping one of the
+        two settings (in either call order).
         """
         from repro.registry import backends
 
-        self._config.backend = backends.canonical(name)
+        canonical = backends.canonical(name)
+        if self._config.parallel is not None and canonical != "numpy-parallel":
+            raise ValueError(
+                f"backend {canonical!r} conflicts with the configured "
+                ".parallel(...) stage; choose backend('numpy-parallel') or "
+                "remove the parallel stage with .parallel(enabled=False)"
+            )
+        self._config.backend = canonical
+        self._backend_explicit = True
         return self
 
     def parallel(
@@ -175,6 +215,12 @@ class ERPipeline:
         only the wall clock changes.  ``enabled=False`` removes the
         stage and falls back to the sequential numpy backend.
 
+        The implicit backend upgrade only happens when no backend was
+        chosen explicitly; after ``.backend("python")`` (or any other
+        non-parallel choice) this raises instead of silently discarding
+        the user's backend - same contract as calling :meth:`backend`
+        after :meth:`parallel`.
+
         >>> from repro import ERPipeline
         >>> spec = ERPipeline().method("PPS").parallel(workers=2).to_dict()
         >>> spec["backend"], spec["parallel"]["workers"]
@@ -185,6 +231,13 @@ class ERPipeline:
             if self._config.backend == "numpy-parallel":
                 self._config.backend = "numpy"
             return self
+        if self._backend_explicit and self._config.backend != "numpy-parallel":
+            raise ValueError(
+                f"explicit backend {self._config.backend!r} conflicts with "
+                ".parallel(...); choose backend('numpy-parallel'), drop the "
+                "backend call, or disable the stage with "
+                ".parallel(enabled=False)"
+            )
         self._config.parallel = ParallelConfig(
             workers=workers, shards=shards, ship=ship
         )
@@ -241,12 +294,23 @@ class ERPipeline:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ERPipeline":
-        """Rebuild a pipeline from a ``to_dict`` spec."""
-        return cls(PipelineConfig.from_dict(data))
+        """Rebuild a pipeline from a ``to_dict`` spec.
+
+        A spec whose backend differs from the default counts as an
+        explicit choice, so a later ``.parallel(...)`` on the rebuilt
+        pipeline conflicts instead of silently overriding it (a spec
+        cannot distinguish an explicitly chosen default ``"python"``
+        from the default itself).
+        """
+        pipeline = cls(PipelineConfig.from_dict(data))
+        pipeline._backend_explicit = pipeline.config.backend != "python"
+        return pipeline
 
     def clone(self) -> "ERPipeline":
         """An independent copy (for sweeps over one base spec)."""
-        return ERPipeline(_snapshot(self._config))
+        fork = ERPipeline(_snapshot(self._config))
+        fork._backend_explicit = self._backend_explicit
+        return fork
 
     # -- binding to data ------------------------------------------------------
 
@@ -307,7 +371,7 @@ def _snapshot(config: PipelineConfig) -> PipelineConfig:
 
     return PipelineConfig(
         blocking=_copy_params(config.blocking),
-        meta=dataclasses.replace(config.meta),
+        meta=_copy_params(config.meta),
         method=_copy_params(config.method),
         matcher=None if config.matcher is None else _copy_params(config.matcher),
         budget=dataclasses.replace(config.budget),

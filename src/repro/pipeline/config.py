@@ -24,6 +24,7 @@ from repro.registry import (
     blocking_schemes,
     matchers,
     progressive_methods,
+    pruning_algorithms,
     weighting_schemes,
 )
 
@@ -67,18 +68,52 @@ class BlockingConfig:
 
 @dataclass
 class MetaBlockingConfig:
-    """Stage 2: Blocking Graph edge weighting (used by the equality-based
-    methods; similarity-based methods configure their neighbor weighting
-    through :class:`MethodConfig` params instead)."""
+    """Stage 2: Blocking Graph edge weighting plus optional graph pruning.
+
+    ``weighting`` is used by the equality-based methods
+    (similarity-based methods configure their neighbor weighting through
+    :class:`MethodConfig` params instead).  ``pruning`` names a
+    Meta-blocking pruning algorithm (WEP/CEP/WNP/CNP/RWNP/RCNP); when
+    set, emission is restricted to the retained edges of the pruned
+    Blocking Graph.  ``params`` go to the pruning algorithm (currently
+    ``k``, the cardinality budget of CEP/CNP/RCNP).
+    """
 
     weighting: str = "ARCS"
+    pruning: str | None = None
+    params: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self.weighting = weighting_schemes.canonical(self.weighting)
+        if self.pruning is None:
+            if self.params:
+                raise ValueError(
+                    f"meta-blocking params {sorted(self.params)} given "
+                    "without a pruning algorithm"
+                )
+            return
+        entry = pruning_algorithms.entry(self.pruning)
+        self.pruning = entry.name
+        unknown = sorted(set(self.params) - {"k"})
+        if unknown:
+            raise ValueError(
+                f"unknown pruning params {unknown}; allowed: ['k']"
+            )
+        if "k" in self.params:
+            k = self.params["k"]
+            if not entry.metadata.get("takes_k", False):
+                raise ValueError(
+                    f"pruning algorithm {entry.name!r} takes no cardinality "
+                    "budget; k applies to CEP, CNP and RCNP only"
+                )
+            if k is not None and (not isinstance(k, int) or k < 1):
+                raise ValueError(f"pruning budget k must be an int >= 1, got {k!r}")
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "MetaBlockingConfig":
-        _reject_unknown_keys("meta-blocking", data, ("weighting",))
+        _reject_unknown_keys(
+            "meta-blocking", data, ("weighting", "pruning", "params")
+        )
         return cls(**dict(data))
 
 
@@ -122,6 +157,10 @@ class BudgetConfig:
     wall-clock deadline measured from the first emission; ``target_recall``
     stops once that recall is reached (requires a ground-truth/oracle hook
     at ``fit`` time).
+
+    Zero budgets are valid and mean *emit nothing*: ``comparisons=0``
+    and ``seconds=0`` both stop the stream before the first emission
+    (negative values are rejected).
     """
 
     comparisons: int | None = None
@@ -131,10 +170,14 @@ class BudgetConfig:
     def __post_init__(self) -> None:
         if self.comparisons is not None and self.comparisons < 0:
             raise ValueError(
-                f"comparisons budget must be >= 0, got {self.comparisons!r}"
+                "comparisons budget must be >= 0 (0 emits nothing), "
+                f"got {self.comparisons!r}"
             )
-        if self.seconds is not None and self.seconds <= 0:
-            raise ValueError(f"seconds budget must be > 0, got {self.seconds!r}")
+        if self.seconds is not None and self.seconds < 0:
+            raise ValueError(
+                "seconds budget must be >= 0 (0 emits nothing), "
+                f"got {self.seconds!r}"
+            )
         if self.target_recall is not None and not 0.0 < self.target_recall <= 1.0:
             raise ValueError(
                 f"target_recall must be in (0, 1], got {self.target_recall!r}"
@@ -255,6 +298,12 @@ class PipelineConfig:
 
     def __post_init__(self) -> None:
         self.backend = backends.canonical(self.backend)
+        if self.parallel is not None and self.backend != "numpy-parallel":
+            raise ValueError(
+                f"a parallel stage requires backend 'numpy-parallel', got "
+                f"{self.backend!r}; drop the parallel config or switch the "
+                "backend"
+            )
 
     def to_dict(self) -> dict[str, Any]:
         """A plain nested dict reproducing this config via ``from_dict``."""

@@ -54,7 +54,9 @@ def resolve(
     purge: bool | float | None = True,
     filter_ratio: bool | float | None = 0.8,
     weighting: str = "ARCS",
-    backend: str = "python",
+    pruning: str | None = None,
+    pruning_params: dict[str, Any] | None = None,
+    backend: str | None = None,
     workers: int | None = None,
     shards: int | None = None,
     ground_truth: GroundTruth | None = None,
@@ -76,12 +78,20 @@ def resolve(
         falls back to the ground truth when available.
     blocking, purge, filter_ratio, weighting:
         Substrate knobs for the equality-based methods.
+    pruning, pruning_params:
+        Optional Meta-blocking graph pruning (``"WEP"``/``"CEP"``/
+        ``"WNP"``/``"CNP"``/``"RWNP"``/``"RCNP"``): emission is
+        restricted to the retained edges of the pruned Blocking Graph.
+        ``pruning_params`` go to the algorithm (e.g. ``{"k": 5}`` for
+        the cardinality budgets).
     backend:
         Execution backend for backend-aware methods: ``"python"``
-        (reference), ``"numpy"`` (CSR/array engine, ``repro[speed]``
-        extra) or ``"numpy-parallel"`` (the CSR engine sharded across
-        worker processes) - e.g. ``resolve(data, method="PPS",
-        backend="numpy-parallel", workers=4)``.
+        (the default, reference), ``"numpy"`` (CSR/array engine,
+        ``repro[speed]`` extra) or ``"numpy-parallel"`` (the CSR engine
+        sharded across worker processes) - e.g. ``resolve(data,
+        method="PPS", backend="numpy-parallel", workers=4)``.  An
+        explicit non-parallel backend conflicts with ``workers``/
+        ``shards`` and raises.
     workers, shards:
         Fan-out knobs for the parallel backend (see
         :meth:`ERPipeline.parallel`); passing either implies
@@ -120,13 +130,16 @@ def resolve(
     pipeline = (
         ERPipeline()
         .blocking(blocking, purge=purge, filter_ratio=filter_ratio)
-        .meta(weighting)
+        .meta(weighting, pruning=pruning, **(pruning_params or {}))
         .method(method, **method_params)
-        .backend(backend)
         .budget(
             comparisons=budget, seconds=seconds, target_recall=target_recall
         )
     )
+    if backend is not None:
+        # explicit choice: a conflicting workers/shards request raises
+        # in .parallel() instead of silently overriding it
+        pipeline.backend(backend)
     if (
         workers is not None
         or shards is not None

@@ -124,6 +124,8 @@ class Resolver:
         self.dataset_name = dataset_name
         self._psn_key = psn_key
         self._blocks: BlockCollection | None = None
+        self._pruned: list[Comparison] | None = None
+        self._parallel_backend: "object | None" = None
         self.method: ProgressiveMethod | None = None
         self.matcher: MatchFunction | None = None
         self._emitter: Iterator[Comparison] | None = None
@@ -144,15 +146,35 @@ class Resolver:
         for a configured parallel stage - a live
         :class:`~repro.parallel.backend.ParallelBackend` carrying the
         ``workers``/``shards``/``ship`` knobs (methods accept backend
-        instances as well as registry names)."""
+        instances as well as registry names).
+
+        The instance is built once per session and cached, so every
+        consumer - method builds, reset rebuilds, graph pruning - shares
+        one backend and therefore one worker pool and shipped payload.
+        """
         spec = self.config.parallel
         if spec is None or self.config.backend != "numpy-parallel":
             return self.config.backend
-        from repro.parallel.backend import ParallelBackend
+        if self._parallel_backend is None:
+            from repro.parallel.backend import ParallelBackend
 
-        return ParallelBackend(
-            workers=spec.workers, shards=spec.shards, ship=spec.ship
-        )
+            self._parallel_backend = ParallelBackend(
+                workers=spec.workers, shards=spec.shards, ship=spec.ship
+            )
+        return self._parallel_backend
+
+    def _ensure_blocks(self) -> BlockCollection:
+        """Build (once) and return the blocking-stage output."""
+        if self._blocks is None:
+            blocking = self.config.blocking
+            self._blocks = blocking_workflow(
+                self.store,
+                scheme=blocking.scheme,
+                purge_ratio=blocking.purge_ratio,
+                filter_ratio=blocking.filter_ratio,
+                **blocking.params,
+            )
+        return self._blocks
 
     @property
     def blocks(self) -> BlockCollection | None:
@@ -164,15 +186,47 @@ class Resolver:
         initialization, so reading this property performs one extra
         blocking pass - introspection convenience, not the hot path."""
         if self._blocks is None and self._method_wants_blocks():
-            blocking = self.config.blocking
-            self._blocks = blocking_workflow(
-                self.store,
-                scheme=blocking.scheme,
-                purge_ratio=blocking.purge_ratio,
-                filter_ratio=blocking.filter_ratio,
-                **blocking.params,
-            )
+            self._ensure_blocks()
         return self._blocks
+
+    def pruned_comparisons(self) -> "list[Comparison] | None":
+        """The retained edges of the pruned Blocking Graph, ranked.
+
+        ``None`` without a ``.meta(pruning=...)`` stage.  Computed once
+        per session on the configured backend (reference, CSR kernels or
+        sharded kernels - bit-identical either way) and cached; the
+        emission stream is then restricted to exactly these pairs.
+        """
+        meta = self.config.meta
+        if meta.pruning is None:
+            return None
+        if self._pruned is None:
+            from repro.metablocking.pruning import prune
+
+            self._pruned = prune(
+                self._ensure_blocks(),
+                algorithm=meta.pruning,
+                scheme_name=meta.weighting,
+                backend=self._method_backend(),
+                **meta.params,
+            )
+        return self._pruned
+
+    def _emitter_for(self, method: ProgressiveMethod) -> Iterator[Comparison]:
+        """The method's emission stream, pruned when the spec asks for it.
+
+        With a pruning stage, the method's ranking is restricted to the
+        retained edges: comparisons outside the pruned graph are dropped,
+        order is otherwise untouched - so ONLINE emits exactly the
+        ranked retained stream, and PPS/PBS emit their usual schedule
+        filtered to surviving edges.
+        """
+        emitter = iter(method)
+        retained = self.pruned_comparisons()
+        if retained is None:
+            return emitter
+        kept = {comparison.pair for comparison in retained}
+        return (c for c in emitter if c.pair in kept)
 
     def build_method(self) -> ProgressiveMethod:
         """A fresh, uninitialized method instance wired from the spec.
@@ -237,7 +291,7 @@ class Resolver:
             self.matcher = self._build_matcher()
         self.method.initialize()
         if self._emitter is None:
-            self._emitter = iter(self.method)
+            self._emitter = self._emitter_for(self.method)
         return self
 
     def reset(self) -> "Resolver":
@@ -252,7 +306,7 @@ class Resolver:
         if self.method is not None:
             self.method = self.build_method()
             self.method.initialize()
-            self._emitter = iter(self.method)
+            self._emitter = self._emitter_for(self.method)
         self._emitted = 0
         self._exhausted = False
         self._started_at = None
@@ -394,8 +448,12 @@ class Resolver:
         if truth is None:
             raise ValueError("evaluate requires a ground truth")
         method = self.build_method()
+        stream = method
+        if self.config.meta.pruning is not None:
+            # the protocol drives the *pruned* emission, as stream() does
+            stream = _PrunedMethodView(method, self._emitter_for(method))
         return run_progressive(
-            method,
+            stream,
             truth,
             max_ec_star=max_ec_star,
             stop_at_full_recall=stop_at_full_recall,
@@ -408,3 +466,18 @@ class Resolver:
             f"Resolver({self.config.method.name}, {state}, "
             f"|P|={len(self.store)}, emitted={self._emitted})"
         )
+
+
+class _PrunedMethodView:
+    """A method stream restricted to the pruned graph, for the
+    :func:`run_progressive` protocol (which only reads ``name`` and
+    iterates)."""
+
+    def __init__(
+        self, method: ProgressiveMethod, emitter: Iterator[Comparison]
+    ) -> None:
+        self.name = method.name
+        self._emitter = emitter
+
+    def __iter__(self) -> Iterator[Comparison]:
+        return self._emitter

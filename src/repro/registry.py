@@ -255,6 +255,10 @@ def _load_weighting_schemes() -> None:
     import repro.metablocking.weights  # noqa: F401  (registers ARCS..EJS)
 
 
+def _load_pruning_algorithms() -> None:
+    import repro.metablocking.pruning  # noqa: F401  (registers WEP..RCNP)
+
+
 def _load_matchers() -> None:
     import repro.matching  # noqa: F401  (registers jaccard/edit/oracle)
 
@@ -273,6 +277,9 @@ blocking_schemes = ComponentRegistry(
 weighting_schemes = ComponentRegistry(
     "weighting scheme", loader=_load_weighting_schemes
 )
+pruning_algorithms = ComponentRegistry(
+    "pruning algorithm", loader=_load_pruning_algorithms
+)
 matchers = ComponentRegistry("match function", loader=_load_matchers)
 backends = ComponentRegistry("backend", loader=_load_backends)
 
@@ -280,6 +287,7 @@ _REGISTRIES: dict[str, ComponentRegistry] = {
     "method": progressive_methods,
     "blocking": blocking_schemes,
     "weighting": weighting_schemes,
+    "pruning": pruning_algorithms,
     "matcher": matchers,
     "backend": backends,
 }

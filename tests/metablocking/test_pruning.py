@@ -1,21 +1,65 @@
-"""Unit tests for the batch Meta-blocking pruning algorithms."""
+"""Unit tests for the batch Meta-blocking pruning algorithms.
+
+Covers the reference semantics of all six algorithms (WEP/CEP/WNP/CNP +
+the reciprocal variants), Clean-clean ER, degenerate inputs, and the
+three-backend parity matrix: every pruning algorithm x weighting scheme
+x ER type must emit the *bit-identical* retained stream on ``python``,
+``numpy`` and ``numpy-parallel`` (shards 1/2/3/7).
+"""
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
+from repro.blocking.base import Block, BlockCollection
 from repro.blocking.token_blocking import TokenBlocking
+from repro.blocking.workflow import token_blocking_workflow
+from repro.core.profiles import ProfileStore
 from repro.metablocking.pruning import (
     cardinality_edge_pruning,
     cardinality_node_pruning,
+    prune,
+    reciprocal_cardinality_node_pruning,
+    reciprocal_weighted_node_pruning,
     weighted_edge_pruning,
     weighted_node_pruning,
 )
+
+ALL_ALGORITHMS = ("WEP", "CEP", "WNP", "CNP", "RWNP", "RCNP")
+GRAPH_SCHEMES = ("ARCS", "CBS", "ECBS", "JS", "EJS")
+SHARD_COUNTS = (1, 2, 3, 7)
 
 
 @pytest.fixture()
 def paper_blocks(paper_profiles):
     return TokenBlocking().build(paper_profiles)
+
+
+@pytest.fixture(scope="module")
+def varied_clean_clean() -> ProfileStore:
+    """A Clean-clean store with *varied* edge weights (overlaps of
+    different sizes), so thresholds separate the edge population."""
+    rng = random.Random(23)
+    # fmt: off
+    words = [
+        "alpha", "beta", "gamma", "delta", "epsilon",
+        "zeta", "eta", "theta", "iota", "kappa", "lam", "mu",
+    ]
+    # fmt: on
+
+    def record(k: int, count: int) -> dict[str, str]:
+        return {
+            "title": " ".join(rng.sample(words, count)),
+            "year": str(1990 + k % 12),
+        }
+
+    left = [record(k, 2 + k % 4) for k in range(40)]
+    right = [
+        dict(item, extra=words[k % 12]) for k, item in enumerate(left[:25])
+    ] + [record(k + 100, 2 + k % 3) for k in range(15)]
+    return ProfileStore.clean_clean(left, right)
 
 
 class TestWeightedEdgePruning:
@@ -33,8 +77,6 @@ class TestWeightedEdgePruning:
         assert weights == sorted(weights, reverse=True)
 
     def test_empty_blocks(self, paper_profiles):
-        from repro.blocking.base import BlockCollection
-
         assert weighted_edge_pruning(BlockCollection([], paper_profiles)) == []
 
 
@@ -77,3 +119,157 @@ class TestCardinalityNodePruning:
         small = {c.pair for c in cardinality_node_pruning(paper_blocks, k=1)}
         large = {c.pair for c in cardinality_node_pruning(paper_blocks, k=4)}
         assert small <= large
+
+
+class TestReciprocalVariants:
+    def test_rwnp_subset_of_wnp(self, paper_blocks):
+        wnp = {c.pair for c in weighted_node_pruning(paper_blocks)}
+        rwnp = {c.pair for c in reciprocal_weighted_node_pruning(paper_blocks)}
+        assert rwnp <= wnp
+
+    def test_rcnp_subset_of_cnp(self, paper_blocks):
+        for k in (1, 2, 4):
+            cnp = {c.pair for c in cardinality_node_pruning(paper_blocks, k=k)}
+            rcnp = {
+                c.pair
+                for c in reciprocal_cardinality_node_pruning(paper_blocks, k=k)
+            }
+            assert rcnp <= cnp
+
+    def test_rwnp_requires_both_endpoints(self, paper_blocks):
+        """Edges surviving WNP only through one weak endpoint's low mean
+        are exactly the ones RWNP drops."""
+        wnp = {c.pair for c in weighted_node_pruning(paper_blocks)}
+        rwnp = {c.pair for c in reciprocal_weighted_node_pruning(paper_blocks)}
+        dropped = wnp - rwnp
+        # The strong duplicate edges survive the stricter rule too.
+        assert (0, 1) in rwnp and (3, 4) in rwnp
+        # p6's rescue edges (kept only by p6's own low mean) do not.
+        assert dropped, "reciprocity changed nothing on the paper fixture"
+
+    def test_rcnp_with_large_k_equals_edge_set(self, paper_blocks):
+        """With k >= max degree, every edge is in both endpoints' top-k."""
+        cnp = cardinality_node_pruning(paper_blocks, k=100)
+        rcnp = reciprocal_cardinality_node_pruning(paper_blocks, k=100)
+        assert rcnp == cnp
+
+
+class TestCleanCleanPruning:
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+    def test_no_intra_source_pairs_survive(self, varied_clean_clean, algorithm):
+        blocks = token_blocking_workflow(varied_clean_clean)
+        kept = prune(blocks, algorithm, "ARCS")
+        assert kept, f"{algorithm} retained nothing on the Clean-clean store"
+        source_of = varied_clean_clean.source_of
+        assert all(source_of(c.i) != source_of(c.j) for c in kept)
+
+    def test_tiny_clean_clean_matches_lead(self, tiny_clean_clean):
+        blocks = TokenBlocking().build(tiny_clean_clean)
+        kept = weighted_edge_pruning(blocks)
+        assert {(0, 3), (1, 4)} <= {c.pair for c in kept}
+
+
+class TestDegenerateInputs:
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+    def test_empty_collection(self, paper_profiles, algorithm):
+        assert prune(BlockCollection([], paper_profiles), algorithm) == []
+
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+    def test_single_block(self, paper_profiles, algorithm):
+        block = Block("white", (0, 1, 2), paper_profiles)
+        blocks = BlockCollection([block], paper_profiles)
+        kept = prune(blocks, algorithm)
+        # One shared block of three profiles: every pair has the same
+        # weight; the weight-based algorithms keep all three edges.
+        pairs = [c.pair for c in kept]
+        assert pairs == sorted(pairs)
+        if algorithm in ("WEP", "WNP", "RWNP"):
+            assert pairs == [(0, 1), (0, 2), (1, 2)]
+
+    def test_all_tied_weights_at_cep_boundary(self, paper_profiles):
+        """Ties at the budget boundary resolve by ascending (i, j)."""
+        block = Block("white", (0, 1, 2, 3), paper_profiles)
+        blocks = BlockCollection([block], paper_profiles)
+        kept = cardinality_edge_pruning(blocks, "CBS", k=3)
+        assert [c.pair for c in kept] == [(0, 1), (0, 2), (0, 3)]
+
+    def test_all_tied_weights_at_cnp_boundary(self, paper_profiles):
+        """Per-node top-k under ties keeps each node's smallest pairs."""
+        block = Block("white", (0, 1, 2, 3), paper_profiles)
+        blocks = BlockCollection([block], paper_profiles)
+        kept = cardinality_node_pruning(blocks, "CBS", k=1)
+        # Every node's single best tied edge is its smallest (i, j):
+        # node 0 -> (0,1); 1 -> (0,1); 2 -> (0,2); 3 -> (0,3).
+        assert [c.pair for c in kept] == [(0, 1), (0, 2), (0, 3)]
+        reciprocal = reciprocal_cardinality_node_pruning(blocks, "CBS", k=1)
+        # Only (0, 1) is the top choice of both its endpoints.
+        assert [c.pair for c in reciprocal] == [(0, 1)]
+
+    def test_k_rejected_for_weight_based_algorithms(self, paper_blocks):
+        with pytest.raises(ValueError, match="takes no cardinality budget"):
+            prune(paper_blocks, "WEP", k=3)
+
+
+class TestThreeBackendParity:
+    """The acceptance matrix: bit-identical retained streams across
+    ``python``, ``numpy`` and ``numpy-parallel`` (shards 1/2/3/7) for
+    every pruning algorithm x weighting scheme x ER type."""
+
+    @pytest.fixture(scope="class")
+    def dirty_blocks(self):
+        pytest.importorskip("numpy")
+        from repro.datasets.registry import load_dataset
+
+        store = load_dataset("census", scale=0.2).store
+        return token_blocking_workflow(store)
+
+    @pytest.fixture(scope="class")
+    def clean_blocks(self, varied_clean_clean):
+        pytest.importorskip("numpy")
+        return token_blocking_workflow(varied_clean_clean)
+
+    @staticmethod
+    def assert_parity(blocks, algorithm, scheme):
+        from repro.parallel.backend import ParallelBackend
+
+        reference = prune(blocks, algorithm, scheme, backend="python")
+        vectorized = prune(blocks, algorithm, scheme, backend="numpy")
+        # Comparison is a NamedTuple: == compares pairs AND weight bits.
+        assert vectorized == reference, f"numpy diverged for {algorithm}/{scheme}"
+        for shards in SHARD_COUNTS:
+            sharded = prune(
+                blocks,
+                algorithm,
+                scheme,
+                backend=ParallelBackend(workers=0, shards=shards),
+            )
+            assert sharded == reference, (
+                f"numpy-parallel with {shards} shards diverged for "
+                f"{algorithm}/{scheme}"
+            )
+
+    @pytest.mark.parametrize("scheme", GRAPH_SCHEMES)
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+    def test_dirty_er(self, dirty_blocks, algorithm, scheme):
+        self.assert_parity(dirty_blocks, algorithm, scheme)
+
+    @pytest.mark.parametrize("scheme", GRAPH_SCHEMES)
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+    def test_clean_clean_er(self, clean_blocks, algorithm, scheme):
+        self.assert_parity(clean_blocks, algorithm, scheme)
+
+    def test_explicit_k_parity(self, dirty_blocks):
+        from repro.parallel.backend import ParallelBackend
+
+        for k in (1, 3):
+            reference = prune(dirty_blocks, "CNP", "ARCS", k=k)
+            vectorized = prune(dirty_blocks, "CNP", "ARCS", k=k, backend="numpy")
+            sharded = prune(
+                dirty_blocks,
+                "CNP",
+                "ARCS",
+                k=k,
+                backend=ParallelBackend(workers=0, shards=3),
+            )
+            assert vectorized == reference
+            assert sharded == reference

@@ -52,11 +52,22 @@ class TestValidation:
         with pytest.raises(ValueError, match="comparisons"):
             BudgetConfig(comparisons=-1)
         with pytest.raises(ValueError, match="seconds"):
-            BudgetConfig(seconds=0)
+            BudgetConfig(seconds=-0.5)
         with pytest.raises(ValueError, match="target_recall"):
             BudgetConfig(target_recall=1.5)
         assert BudgetConfig().unlimited()
         assert not BudgetConfig(comparisons=10).unlimited()
+
+    def test_zero_budgets_are_valid_and_aligned(self):
+        """Regression: seconds=0 used to raise while comparisons=0 was
+        accepted; both now mean "emit nothing" and share one message
+        shape for the negative case."""
+        assert BudgetConfig(comparisons=0).comparisons == 0
+        assert BudgetConfig(seconds=0).seconds == 0
+        with pytest.raises(ValueError, match=r">= 0 \(0 emits nothing\)"):
+            BudgetConfig(comparisons=-1)
+        with pytest.raises(ValueError, match=r">= 0 \(0 emits nothing\)"):
+            BudgetConfig(seconds=-1.0)
 
 
 class TestRoundTrip:

@@ -117,9 +117,28 @@ class TestStockRegistries:
         assert matchers.canonical("ED") == "edit-distance"
         assert "oracle" in matchers
 
+    def test_pruning_algorithms_present(self):
+        from repro.registry import pruning_algorithms
+
+        assert pruning_algorithms.names() == [
+            "CEP",
+            "CNP",
+            "RCNP",
+            "RWNP",
+            "WEP",
+            "WNP",
+        ]
+        assert pruning_algorithms.canonical("weighted-edge-pruning") == "WEP"
+        assert pruning_algorithms.canonical("reciprocal_wnp") == "RWNP"
+        assert pruning_algorithms.entry("cnp").metadata["takes_k"] is True
+        assert pruning_algorithms.entry("wep").metadata["takes_k"] is False
+
     def test_get_registry(self):
         assert get_registry("method") is progressive_methods
         assert get_registry("weighting") is weighting_schemes
+        from repro.registry import pruning_algorithms
+
+        assert get_registry("pruning") is pruning_algorithms
         with pytest.raises(ValueError, match="unknown registry kind"):
             get_registry("nope")
 
