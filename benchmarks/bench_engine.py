@@ -36,6 +36,8 @@ import json
 import os
 import sys
 
+from repro.evaluation.report import format_table
+
 try:  # package import (pytest) vs direct script execution
     from benchmarks._shared import (
         dataset,
@@ -52,8 +54,6 @@ except ImportError:  # pragma: no cover - script mode
         timed_pruning_run,
         write_bench_json,
     )
-
-from repro.evaluation.report import format_table
 
 # (method, params): the four backend-aware methods with their paper-ish
 # settings; LS-PSN capped at the GS-PSN window bound so the full drain

@@ -178,7 +178,7 @@ class ProfileStore:
                 raise ValueError("sources must align with records")
         profiles = [
             EntityProfile(i, record, source)
-            for i, (record, source) in enumerate(zip(records, source_list))
+            for i, (record, source) in enumerate(zip(records, source_list, strict=True))
         ]
         return cls(profiles, er_type)
 

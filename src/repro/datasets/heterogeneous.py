@@ -138,7 +138,13 @@ def generate_dbpedia(scale: float = 0.002, seed: int = 0) -> Dataset:
     ]
     # Property rename map: the i-th 2007 base property becomes the i-th
     # 2009 one; only a minority keeps its name across snapshots.
-    rename = dict(zip(lexicon.DBPEDIA_PROPERTIES_2007, lexicon.DBPEDIA_PROPERTIES_2009))
+    rename = dict(
+        zip(
+            lexicon.DBPEDIA_PROPERTIES_2007,
+            lexicon.DBPEDIA_PROPERTIES_2009,
+            strict=True,
+        )
+    )
 
     value_pool = (
         lexicon.synthesize_words(2000, rng)

@@ -13,6 +13,9 @@ from __future__ import annotations
 
 import random
 
+# One spanning fmt region: every pool below is a hand-packed tabular
+# literal (several words per line), which the formatter would explode
+# into one item per line.
 # fmt: off
 FIRST_NAMES = [
     "aaron", "abigail", "adam", "adrian", "alan", "albert", "alice", "amanda",
@@ -44,9 +47,7 @@ FIRST_NAMES = [
     "timothy", "tyler", "victoria", "vincent", "virginia", "walter", "wayne",
     "william", "willie", "zachary",
 ]
-# fmt: on
 
-# fmt: off
 SURNAMES = [
     "adams", "alexander", "allen", "anderson", "bailey", "baker", "barnes",
     "bell", "bennett", "brooks", "brown", "bryant", "butler", "campbell",
@@ -68,9 +69,7 @@ SURNAMES = [
     "washington", "watson", "west", "white", "williams", "wilson", "wood",
     "wright", "young",
 ]
-# fmt: on
 
-# fmt: off
 CITIES = [
     "albany", "albuquerque", "atlanta", "austin", "baltimore", "boston",
     "buffalo", "charlotte", "chicago", "cincinnati", "cleveland", "columbus",
@@ -83,9 +82,7 @@ CITIES = [
     "saltlake", "sanantonio", "sandiego", "sanfrancisco", "sanjose", "seattle",
     "spokane", "tampa", "tucson", "tulsa", "washington", "wichita",
 ]
-# fmt: on
 
-# fmt: off
 STREETS = [
     "adams", "birch", "broadway", "cedar", "cherry", "chestnut", "church",
     "college", "dogwood", "elm", "forest", "franklin", "highland", "hickory",
@@ -94,9 +91,7 @@ STREETS = [
     "park", "pine", "poplar", "prospect", "ridge", "river", "spring", "spruce",
     "sunset", "sycamore", "valley", "walnut", "washington", "willow",
 ]
-# fmt: on
 
-# fmt: off
 PROFESSIONS = [
     "accountant", "architect", "baker", "carpenter", "cashier", "chef",
     "clerk", "dentist", "doctor", "driver", "electrician", "engineer",
@@ -106,9 +101,7 @@ PROFESSIONS = [
     "salesman", "secretary", "surgeon", "tailor", "teacher", "technician",
     "veterinarian", "waiter", "welder", "writer",
 ]
-# fmt: on
 
-# fmt: off
 CUISINES = [
     "american", "bakery", "barbecue", "bistro", "brewery", "cafe", "cajun",
     "chinese", "continental", "deli", "diner", "ethiopian", "french",
@@ -117,9 +110,7 @@ CUISINES = [
     "spanish", "steakhouse", "sushi", "tavern", "thai", "vegan", "vegetarian",
     "vietnamese",
 ]
-# fmt: on
 
-# fmt: off
 RESTAURANT_WORDS = [
     "angel", "bamboo", "bella", "blue", "brick", "casa", "corner", "crown",
     "dragon", "eagle", "empire", "garden", "gate", "golden", "grand", "green",
@@ -128,9 +119,7 @@ RESTAURANT_WORDS = [
     "rose", "royal", "ruby", "silver", "star", "stone", "sunset", "table",
     "terrace", "tiger", "velvet", "village", "vine", "willow",
 ]
-# fmt: on
 
-# fmt: off
 TITLE_WORDS = [
     "adaptive", "aggregation", "algorithms", "analysis", "approach",
     "approximate", "architectures", "automated", "bayesian", "benchmarking",
@@ -148,26 +137,20 @@ TITLE_WORDS = [
     "search", "semantic", "similarity", "streams", "structures", "systems",
     "techniques", "theory", "transactions", "uncertain", "web",
 ]
-# fmt: on
 
-# fmt: off
 VENUES = [
     "aaai", "acl", "cidr", "cikm", "computing surveys", "data engineering",
     "edbt", "icde", "icdm", "icml", "ijcai", "information systems", "kdd",
     "machine learning journal", "neurips", "pods", "pvldb", "sigir", "sigmod",
     "tkde", "tods", "vldb", "vldb journal", "wsdm", "www",
 ]
-# fmt: on
 
-# fmt: off
 PUBLISHERS = [
     "acm press", "addison wesley", "cambridge university press", "elsevier",
     "ieee computer society", "mit press", "morgan kaufmann", "oxford",
     "prentice hall", "springer", "wiley",
 ]
-# fmt: on
 
-# fmt: off
 MUSIC_WORDS = [
     "acoustic", "anthem", "ballad", "blues", "breeze", "broken", "carnival",
     "chrome", "crimson", "crystal", "dance", "dawn", "desert", "diamond",
@@ -179,18 +162,14 @@ MUSIC_WORDS = [
     "spark", "static", "storm", "summer", "thunder", "twilight", "velvet",
     "violet", "whisper", "wild", "winter", "wonder",
 ]
-# fmt: on
 
-# fmt: off
 GENRES = [
     "alternative", "ambient", "blues", "classical", "country", "dance",
     "electronic", "folk", "funk", "gospel", "grunge", "hiphop", "indie",
     "jazz", "latin", "metal", "opera", "pop", "punk", "reggae", "rock",
     "soul", "soundtrack", "techno",
 ]
-# fmt: on
 
-# fmt: off
 MOVIE_WORDS = [
     "affair", "avenue", "battle", "beyond", "castle", "chronicles", "city",
     "code", "crossing", "curse", "darkness", "daughter", "destiny", "edge",
@@ -202,20 +181,16 @@ MOVIE_WORDS = [
     "stand", "station", "storm", "story", "stranger", "summer", "throne",
     "tides", "tower", "voyage", "war", "watcher", "winter", "witness",
 ]
-# fmt: on
 
-# fmt: off
 MOVIE_GENRES = [
     "action", "adventure", "animation", "biography", "comedy", "crime",
     "documentary", "drama", "family", "fantasy", "history", "horror",
     "musical", "mystery", "romance", "scifi", "thriller", "war", "western",
 ]
-# fmt: on
 
 # Infobox-style property names for the dbpedia-like snapshots.  The 2007 and
 # 2009 pools overlap only partially, reproducing the attribute drift that
 # leaves the two snapshots sharing ~25% of their name-value pairs.
-# fmt: off
 DBPEDIA_PROPERTIES_2007 = [
     "abstract", "areaTotal", "birthDate", "birthPlace", "capital", "country",
     "currency", "deathDate", "director", "elevation", "established",
@@ -224,9 +199,7 @@ DBPEDIA_PROPERTIES_2007 = [
     "producer", "region", "releaseDate", "runtime", "starring", "successor",
     "timezone", "writer",
 ]
-# fmt: on
 
-# fmt: off
 DBPEDIA_PROPERTIES_2009 = [
     "abstract", "area", "birthYear", "placeOfBirth", "capitalCity", "state",
     "currencyCode", "deathYear", "directedBy", "altitude", "founded",
@@ -235,9 +208,7 @@ DBPEDIA_PROPERTIES_2009 = [
     "population", "producedBy", "district", "released", "duration", "cast",
     "predecessor", "utcOffset", "author",
 ]
-# fmt: on
 
-# fmt: off
 RDF_PREDICATES = [
     "rdf:type", "rdfs:label", "owl:sameAs", "skos:prefLabel", "dc:title",
     "dc:creator", "dcterms:subject", "foaf:name", "foaf:homepage",

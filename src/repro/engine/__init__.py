@@ -40,7 +40,7 @@ numpy backend without it raises a clear, actionable error.
 from __future__ import annotations
 
 import importlib.util
-from typing import Any
+from typing import TYPE_CHECKING, Any, cast
 
 from repro.registry import backends
 
@@ -243,6 +243,14 @@ _NUMPY = NumpyBackend()
 backends.register("python", lambda: _PYTHON, aliases=("py", "pure-python"))
 backends.register("numpy", lambda: _NUMPY, aliases=("np", "array", "csr"))
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro import contracts
+
+    # mypy --strict proves the stock backends structurally satisfy the
+    # typed seam; the backend-contract lint rule re-checks the *live*
+    # registry (which may hold user extensions) against the same seam.
+    _SEAM_CONFORMANCE: tuple[contracts.Backend, ...] = (_PYTHON, _NUMPY)
+
 
 def get_backend(name: "str | Backend") -> Backend:
     """The backend registered under ``name`` (any spelling).
@@ -259,7 +267,7 @@ def get_backend(name: "str | Backend") -> Backend:
     """
     if isinstance(name, Backend):
         return name
-    return backends.build(name)
+    return cast(Backend, backends.build(name))
 
 
 def available_backends() -> list[str]:

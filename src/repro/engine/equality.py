@@ -20,7 +20,7 @@ reference emission streams bit for bit (see the module docstring of
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 from repro.core.comparisons import Comparison, ComparisonList
 from repro.core.profiles import ERType
@@ -121,12 +121,12 @@ class ArrayPPSCore:
         pair_i = np.minimum(present, best_neighbors)
         pair_j = np.maximum(present, best_neighbors)
 
-        profile_list = list(zip(present.tolist(), likelihoods.tolist()))
+        profile_list = list(zip(present.tolist(), likelihoods.tolist(), strict=True))
         profile_list.sort(key=lambda item: (-item[1], item[0]))
 
         top_comparisons: dict[tuple[int, int], float] = {}
         for i, j, weight in zip(
-            pair_i.tolist(), pair_j.tolist(), best_weights.tolist()
+            pair_i.tolist(), pair_j.tolist(), best_weights.tolist(), strict=True
         ):
             existing = top_comparisons.get((i, j))
             if existing is None or weight > existing:
@@ -271,7 +271,7 @@ class ArrayPBSCore:
         if clean_clean:
             left_sizes = np.zeros(block_count, dtype=np.int64)
             entry_owners = np.repeat(np.arange(block_count, dtype=np.int64), sizes)
-            np.add.at(left_sizes, entry_owners, sources[bp_indices] == 0)
+            np.add.at(left_sizes, entry_owners, sources[bp_indices] == 0)  # repro-analyze: ignore[determinism] integer count scatter, order-independent
             shapes = left_sizes * (sizes.max() + 1 if block_count else 1) + sizes
         else:
             shapes = sizes
@@ -336,3 +336,14 @@ class ArrayPBSCore:
         """All blocks in scheduling order, best-first inside each."""
         for block_id in range(self.index.block_count()):
             yield from self.block_comparisons(block_id)
+
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro import contracts
+
+    def _core_conformance(
+        pps: ArrayPPSCore, pbs: ArrayPBSCore
+    ) -> "tuple[contracts.PPSCore, contracts.PBSCore]":
+        # mypy --strict proves the array cores satisfy the typed
+        # emission-core contracts the progressive methods consume.
+        return pps, pbs

@@ -116,7 +116,7 @@ def node_topk_votes(
     positions = np.arange(segment_owner.size, dtype=np.int64)
     segment_starts = np.maximum.accumulate(np.where(heads, positions, 0))
     selected = order[positions - segment_starts < k]
-    np.add.at(votes, edge_ids[selected], 1)
+    np.add.at(votes, edge_ids[selected], 1)  # repro-analyze: ignore[determinism] integer vote count, order-independent
     return votes
 
 
@@ -197,3 +197,12 @@ def prune_array_graph(
     i, j, weights = i[mask], j[mask], weights[mask]
     order = sort_pairs_descending(i, j, weights)
     return i[order], j[order], weights[order]
+
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro import contracts
+
+    def _kernel_conformance() -> "contracts.PruningKernel":
+        # mypy --strict proves the array pruning entry point satisfies
+        # the typed kernel contract (signature and return triple).
+        return prune_array_graph

@@ -14,10 +14,13 @@ returns it.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from repro.core.comparisons import Comparison
 from repro.engine import require_numpy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.weights import ArrayBlockingGraph
 
 require_numpy("repro.engine.topk")
 
@@ -45,7 +48,9 @@ def sort_pairs_descending(
     return np.lexsort((j, i, -weights))
 
 
-def ranked_edges(graph) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+def ranked_edges(
+    graph: "ArrayBlockingGraph",
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Every distinct edge of an ``ArrayBlockingGraph``, ranked.
 
     The graph's upper-triangle edge set (each valid pair once, owned by

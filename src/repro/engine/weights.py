@@ -254,7 +254,9 @@ class ArrayBlockingGraph:
         "_edge_weights",
     )
 
-    def __init__(self, index: ArrayProfileIndex, scheme: ArrayWeighting | str):
+    def __init__(
+        self, index: ArrayProfileIndex, scheme: ArrayWeighting | str
+    ) -> None:
         self.index = index
         self.scheme = (
             make_array_scheme(scheme, index)

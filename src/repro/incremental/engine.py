@@ -36,7 +36,7 @@ from repro.incremental.weights import IncrementalWeighter
 
 require_numpy("repro.incremental.engine")
 
-import numpy as np  # noqa: E402  (guarded optional dependency)
+import numpy as np  # noqa: E402  # repro-analyze: ignore[guarded-numpy] numpy-only accelerator module, guarded by require_numpy above and imported only behind the numpy backend
 
 from repro.engine.topk import iter_comparisons  # noqa: E402
 
@@ -122,7 +122,9 @@ class ArrayDeltaScorer:
 
     def _apply_deltas(self) -> None:
         """Patch only the touched entries, appending unseen tokens."""
-        for token in self._dirty:
+        # Sorted so unseen tokens get ids in one canonical order - set
+        # order would assign run-dependent ids under hash randomization.
+        for token in sorted(self._dirty):
             tid = self._token_ids.get(token)
             if tid is None:
                 tid = self._size

@@ -172,7 +172,7 @@ class MutableProfileStore(ProfileStore):
             return []
 
         appended: list[EntityProfile] = []
-        for offset, (item, source) in enumerate(zip(items, source_list)):
+        for offset, (item, source) in enumerate(zip(items, source_list, strict=True)):
             appended.append(self._coerce(len(self.profiles) + offset, item, source))
 
         self.profiles.extend(appended)

@@ -128,7 +128,7 @@ class IncrementalWeighter:
             # probe is indexed but not stored.
             count = sum(
                 1
-                for neighbor in neighbors
+                for neighbor in neighbors  # repro-analyze: ignore[determinism] pure count, order-independent
                 if index.valid_pair(profile_id, neighbor)
             )
             if count:

@@ -42,7 +42,15 @@ guidance.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    # Give type checkers the real symbols behind the lazy __getattr__
+    # below (which they cannot see through).
+    from repro.parallel.backend import ParallelBackend
+    from repro.parallel.merge import ShardMerger, merge_grouped_counts
+    from repro.parallel.plan import Shard, ShardPlan
+    from repro.parallel.pool import WorkerPool
 
 __all__ = [
     "Shard",

@@ -21,7 +21,7 @@ factory methods, mirroring :mod:`repro.engine`.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.engine import NumpyBackend, require_numpy
 from repro.registry import backends
@@ -71,7 +71,7 @@ class ParallelBackend(NumpyBackend):
         self.shards = shards if shards is not None else max(workers, 1)
         self.ship = ship
         self._pool: Any = None
-        self._payloads: dict[tuple[int, int], tuple[Any, dict]] = {}
+        self._payloads: dict[tuple[int, int], tuple[Any, dict[str, Any]]] = {}
 
     def require(self) -> "ParallelBackend":
         require_numpy("backend='numpy-parallel'")
@@ -94,7 +94,7 @@ class ParallelBackend(NumpyBackend):
             self._pool = None
         self._payloads.clear()
 
-    def _payload_for(self, index: Any, scheme: Any) -> dict:
+    def _payload_for(self, index: Any, scheme: Any) -> dict[str, Any]:
         """One shared worker payload per (index, scheme) pair.
 
         Sharing the dict *object* matters: the pool re-ships only when
@@ -203,3 +203,10 @@ backends.register(
     ParallelBackend,
     aliases=("parallel", "np-parallel", "sharded"),
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro import contracts
+
+    # mypy --strict proves the sharded backend satisfies the typed seam
+    # (inherited structure factories included).
+    _SEAM_CONFORMANCE: tuple[contracts.Backend, ...] = (ParallelBackend(),)

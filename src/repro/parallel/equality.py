@@ -19,7 +19,7 @@ the passes worth fanning out:
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from typing import Any, Iterator, Sequence
 
 from repro.core.comparisons import Comparison
 from repro.engine import require_numpy
@@ -119,7 +119,7 @@ class ParallelPBSCore(ArrayPBSCore):
         graph: ArrayBlockingGraph,
         shards: int,
         pool: WorkerPool,
-        payload: dict | None = None,
+        payload: dict[str, Any] | None = None,
     ) -> None:
         # The base __init__ drives _enumerate_pairs, so the fan-out
         # knobs must exist first.  ``payload`` should be the same dict

@@ -25,7 +25,7 @@ Exactness argument (the parity suite asserts it end to end):
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from repro.core.profiles import ERType
 from repro.engine import require_numpy
@@ -47,7 +47,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.csr import ArrayProfileIndex
 
 
-def graph_payload(index: "ArrayProfileIndex", scheme: ArrayWeighting) -> dict:
+def graph_payload(
+    index: "ArrayProfileIndex", scheme: ArrayWeighting
+) -> dict[str, Any]:
     """The worker payload for the CSR-reading shard tasks.
 
     One dict serves both :func:`~repro.parallel.tasks.graph_rows_task`
@@ -74,7 +76,7 @@ def sharded_blocking_graph(
     shards: int,
     pool: WorkerPool,
     plan: ShardPlan | None = None,
-    payload: dict | None = None,
+    payload: dict[str, Any] | None = None,
 ) -> ArrayBlockingGraph:
     """Build an :class:`ArrayBlockingGraph` from per-shard row builds.
 

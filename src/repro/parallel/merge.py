@@ -66,7 +66,7 @@ class ShardMerger:
         for i, j, weights in shards:
             if i.size == 0:
                 continue
-            streams.append(zip(i.tolist(), j.tolist(), weights.tolist()))
+            streams.append(zip(i.tolist(), j.tolist(), weights.tolist(), strict=True))
         return heapq.merge(
             *streams, key=lambda item: (-item[2], item[0], item[1])
         )

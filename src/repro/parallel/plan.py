@@ -109,7 +109,7 @@ class ShardPlan:
         # would make boundaries regress; later shards then come up empty.
         bounds = np.maximum.accumulate(np.minimum(bounds, n))
         return cls(
-            [Shard(int(lo), int(hi)) for lo, hi in zip(bounds[:-1], bounds[1:])],
+            [Shard(int(lo), int(hi)) for lo, hi in zip(bounds[:-1], bounds[1:], strict=True)],
             n,
         )
 
@@ -122,7 +122,7 @@ class ShardPlan:
             raise ValueError(f"axis size must be >= 0, got {n}")
         bounds = [round(k * n / shards) for k in range(shards + 1)]
         return cls(
-            [Shard(lo, hi) for lo, hi in zip(bounds[:-1], bounds[1:])], n
+            [Shard(lo, hi) for lo, hi in zip(bounds[:-1], bounds[1:], strict=True)], n
         )
 
     # -- views ---------------------------------------------------------------

@@ -23,7 +23,7 @@ array costs far less than a fan-out would.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from repro.engine import require_numpy
 
@@ -75,7 +75,7 @@ def _ranked(
 
 def _directed_payload(
     i: np.ndarray, j: np.ndarray, weights: np.ndarray, n: int
-) -> dict:
+) -> dict[str, Any]:
     """The resident worker payload of the node-pruning fan-outs."""
     owners, _, doubled, edge_ids = directed_entries(i, j, weights)
     indptr = np.zeros(n + 1, dtype=np.int64)
@@ -137,7 +137,7 @@ def sharded_pruned_edges(
         votes = np.zeros(m, dtype=np.int64)
         live = [chunk for chunk in selections if chunk.size]
         if live:
-            np.add.at(votes, np.concatenate(live), 1)
+            np.add.at(votes, np.concatenate(live), 1)  # repro-analyze: ignore[determinism] integer vote count, order-independent
         mask = votes >= 1 if algorithm == "CNP" else votes == 2
     else:
         raise ValueError(

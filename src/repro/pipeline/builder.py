@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import dataclasses
 from collections.abc import Iterable, Mapping
-from typing import Any, Callable
+from typing import Any, Callable, TypeVar
 
 from repro.core.ground_truth import GroundTruth
 from repro.core.profiles import ProfileStore
@@ -356,6 +356,12 @@ class ERPipeline:
         )
 
 
+#: One of the per-stage config dataclasses (they share the ``params`` slot).
+_StageT = TypeVar(
+    "_StageT", BlockingConfig, MetaBlockingConfig, MethodConfig, MatcherConfig
+)
+
+
 def _snapshot(config: PipelineConfig) -> PipelineConfig:
     """An independent copy of the spec that later builder calls cannot
     mutate.
@@ -366,7 +372,7 @@ def _snapshot(config: PipelineConfig) -> PipelineConfig:
     are reused rather than deep-copied.
     """
 
-    def _copy_params(stage):
+    def _copy_params(stage: _StageT) -> _StageT:
         return dataclasses.replace(stage, params=dict(stage.params))
 
     return PipelineConfig(
@@ -391,7 +397,7 @@ def _snapshot(config: PipelineConfig) -> PipelineConfig:
 
 def _coerce_data(
     data: Any, ground_truth: GroundTruth | None
-) -> tuple[ProfileStore, GroundTruth | None, str, Callable | None]:
+) -> tuple[ProfileStore, GroundTruth | None, str, Callable[..., Any] | None]:
     """Normalize ``fit``'s accepted inputs to (store, truth, name, psn_key)."""
     from repro.datasets.base import Dataset
     from repro.datasets.registry import load_dataset

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Iterator
+from typing import TYPE_CHECKING, Any, Callable, Iterator
 
 from repro.blocking.base import BlockCollection
 from repro.blocking.workflow import blocking_workflow
@@ -109,7 +109,7 @@ class Resolver:
         store: ProfileStore,
         ground_truth: GroundTruth | None = None,
         dataset_name: str = "",
-        psn_key: Callable | None = None,
+        psn_key: Callable[..., Any] | None = None,
     ) -> None:
         if (
             config.budget.target_recall is not None

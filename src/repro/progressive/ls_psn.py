@@ -25,8 +25,8 @@ from repro.core.profiles import ERType, ProfileStore
 from repro.core.tokenization import DEFAULT_TOKENIZER, Tokenizer
 from repro.neighborlist.neighbor_list import NeighborList
 from repro.neighborlist.position_index import PositionIndex
-from repro.neighborlist.rcf import NeighborWeighting, make_neighbor_weighting
 from repro.engine import get_backend
+from repro.neighborlist.rcf import NeighborWeighting, make_neighbor_weighting
 from repro.progressive.base import ProgressiveMethod, register_method
 
 if TYPE_CHECKING:  # pragma: no cover - typing only

@@ -38,9 +38,9 @@ from repro.blocking.workflow import token_blocking_workflow
 from repro.core.comparisons import Comparison, ComparisonList, SortedStack
 from repro.core.profiles import ProfileStore
 from repro.core.tokenization import DEFAULT_TOKENIZER, Tokenizer
+from repro.engine import get_backend
 from repro.metablocking.profile_index import ProfileIndex
 from repro.metablocking.weights import WeightingScheme, make_scheme
-from repro.engine import get_backend
 from repro.progressive.base import ProgressiveMethod, register_method
 
 if TYPE_CHECKING:  # pragma: no cover - typing only

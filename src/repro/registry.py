@@ -78,7 +78,9 @@ class ComponentRegistry:
         registration of the stock components.
     """
 
-    def __init__(self, kind: str, loader: Callable[[], None] | None = None):
+    def __init__(
+        self, kind: str, loader: Callable[[], None] | None = None
+    ) -> None:
         self.kind = kind
         self._loader = loader
         self._loaded = loader is None
@@ -106,7 +108,7 @@ class ComponentRegistry:
         *,
         aliases: tuple[str, ...] | list[str] = (),
         **metadata: Any,
-    ):
+    ) -> Callable[..., Any]:
         """Register a component; usable directly or as a class decorator.
 
         ``name`` defaults to the factory's ``name`` class attribute (the

@@ -1,0 +1,33 @@
+"""Fixtures for the ``tools.repro_analyze`` suite.
+
+The analyzer lives at the repo root (it is a development tool, not part
+of the installable package), so the root goes on ``sys.path`` here -
+``PYTHONPATH=src`` alone only covers the library.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+
+@pytest.fixture()
+def run_rule():
+    """Run one file rule over an in-memory snippet, suppressions applied.
+
+    ``module`` lets a fixture pose as a library module (the scoped rules
+    key off the dotted name), without writing files under ``src/``.
+    """
+    from tools.repro_analyze.core import filter_suppressed, parse_snippet
+
+    def _run(rule, text, module=None):
+        source = parse_snippet(text, module=module)
+        return list(filter_suppressed(source, rule.check(source)))
+
+    return _run

@@ -1,0 +1,126 @@
+"""backend-contract: every registered backend implements the full seam."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.registry import ComponentRegistry
+from tools.repro_analyze.checkers import backend_contract
+
+
+class GoodBackend:
+    """A minimal, structurally complete backend (not a repro subclass,
+    proving the check is structural)."""
+
+    name = "good"
+
+    @property
+    def available(self):
+        return True
+
+    @property
+    def vectorized(self):
+        return False
+
+    def require(self):
+        return self
+
+    def profile_index(self, collection):
+        return None
+
+    def weighting(self, name, index):
+        return None
+
+    def position_index(self, neighbor_list):
+        return None
+
+    def blocking_graph(self, index, weighting):
+        return None
+
+    def pps_core(self, scheduled, weighting, k_max):
+        return None
+
+    def pbs_core(self, index, graph):
+        return None
+
+    def psn_core(self, neighbor_list, store, weighting):
+        return None
+
+    def ranked_edges(self, graph):
+        return None
+
+    def pruned_edges(self, graph, algorithm, k):
+        return None
+
+
+class MissingMethodBackend(GoodBackend):
+    name = "missing"
+    pruned_edges = None  # shadow the inherited implementation
+
+
+class WrongArityBackend(GoodBackend):
+    name = "arity"
+
+    def pruned_edges(self, graph):  # lost algorithm and k
+        return None
+
+
+def scratch_registry(*backend_types):
+    registry = ComponentRegistry("backend")
+    for backend_type in backend_types:
+        instance = backend_type()
+        registry.register(backend_type.name, lambda b=instance: b)
+    return registry
+
+
+def test_complete_backend_is_clean():
+    registry = scratch_registry(GoodBackend)
+    assert not list(backend_contract.check_backends(registry))
+
+
+def test_missing_seam_method_is_flagged():
+    registry = scratch_registry(MissingMethodBackend)
+    violations = list(backend_contract.check_backends(registry))
+    assert any(
+        "seam method 'pruned_edges'" in v.message for v in violations
+    )
+    assert all(v.rule == "backend-contract" for v in violations)
+
+
+def test_absent_seam_methods_are_flagged():
+    class Bare:
+        name = "bare"
+        available = True
+        vectorized = False
+
+        def require(self):
+            return self
+
+    registry = scratch_registry(Bare)
+    violations = list(backend_contract.check_backends(registry))
+    missing = {
+        m
+        for v in violations
+        for m in ("pps_core", "pruned_edges", "ranked_edges")
+        if f"seam method {m!r}" in v.message
+    }
+    assert missing == {"pps_core", "pruned_edges", "ranked_edges"}
+
+
+def test_wrong_arity_is_flagged():
+    registry = scratch_registry(WrongArityBackend)
+    violations = list(backend_contract.check_backends(registry))
+    assert len(violations) == 1
+    assert "does not accept the 3 seam argument" in violations[0].message
+
+
+def test_live_registry_is_clean():
+    pytest.importorskip("numpy")
+    assert not list(backend_contract.check_project())
+
+
+def test_live_registry_is_checked_without_numpy_too():
+    # The registry registers backends without importing numpy; the
+    # contract check is structural, so it must not require the extra.
+    violations = list(backend_contract.check_project())
+    assert violations == []

@@ -1,0 +1,75 @@
+"""budget-semantics: budget 0 means 'emit nothing', never 'no budget'."""
+
+from __future__ import annotations
+
+import textwrap
+
+from tools.repro_analyze.checkers import budget_semantics
+
+
+def check(run_rule, text):
+    return run_rule(budget_semantics, textwrap.dedent(text), "repro.pipeline.demo")
+
+
+def test_truthiness_if_on_budget_is_flagged(run_rule):
+    violations = check(
+        run_rule,
+        """
+        def emit(budget):
+            if budget:
+                return drain(budget)
+            return []
+        """,
+    )
+    assert len(violations) == 1
+    assert "0 means" in violations[0].message
+
+
+def test_not_budget_and_boolop_operands_are_flagged(run_rule):
+    violations = check(
+        run_rule,
+        """
+        def emit(comparison_budget, stream):
+            if not comparison_budget:
+                return []
+            while stream and comparison_budget:
+                next(stream)
+        """,
+    )
+    assert len(violations) == 2
+
+
+def test_budget_attribute_truthiness_is_flagged(run_rule):
+    violations = check(
+        run_rule,
+        """
+        def emit(config):
+            return 1 if config.budget.comparisons else 0
+        """,
+    )
+    assert len(violations) == 1
+
+
+def test_explicit_none_and_bound_comparisons_are_clean(run_rule):
+    assert not check(
+        run_rule,
+        """
+        def emit(budget, emitted):
+            if budget is None:
+                return drain_all()
+            if emitted >= budget:
+                return []
+            return drain(budget - emitted)
+        """,
+    )
+
+
+def test_unrelated_names_are_ignored(run_rule):
+    assert not check(
+        run_rule,
+        """
+        def emit(budgerigar, items):
+            if budgerigar:
+                return items
+        """,
+    )

@@ -1,0 +1,103 @@
+"""determinism: no hash-order iteration or unordered scatters in kernels."""
+
+from __future__ import annotations
+
+import textwrap
+
+from tools.repro_analyze.checkers import determinism
+
+
+def check(run_rule, text, module="repro.blocking.demo"):
+    return run_rule(determinism, textwrap.dedent(text), module)
+
+
+def test_iterating_a_set_variable_is_flagged(run_rule):
+    violations = check(
+        run_rule,
+        """
+        def emit(tokens):
+            seen = set(tokens)
+            for token in seen:
+                print(token)
+        """,
+    )
+    assert len(violations) == 1
+    assert "hash order" in violations[0].message
+
+
+def test_set_literal_and_comprehension_iteration_are_flagged(run_rule):
+    violations = check(
+        run_rule,
+        """
+        def emit(pairs):
+            for item in {1, 2, 3}:
+                print(item)
+            return [p for p in {x for x in pairs}]
+        """,
+    )
+    assert len(violations) == 2
+
+
+def test_set_typed_attribute_is_tracked_across_methods(run_rule):
+    violations = check(
+        run_rule,
+        """
+        class Index:
+            def __init__(self):
+                self._dirty = set()
+
+            def flush(self):
+                for token in self._dirty:
+                    print(token)
+        """,
+    )
+    assert len(violations) == 1
+
+
+def test_sorted_iteration_is_clean(run_rule):
+    assert not check(
+        run_rule,
+        """
+        def emit(tokens):
+            seen = set(tokens)
+            for token in sorted(seen):
+                print(token)
+        """,
+    )
+
+
+def test_rebinding_to_a_list_clears_tracking(run_rule):
+    assert not check(
+        run_rule,
+        """
+        def emit(tokens):
+            seen = set(tokens)
+            seen = sorted(seen)
+            for token in seen:
+                print(token)
+        """,
+    )
+
+
+def test_rule_is_scoped_to_library_modules(run_rule):
+    text = """
+    def emit(tokens):
+        for token in set(tokens):
+            print(token)
+    """
+    assert check(run_rule, text, module="repro.core.demo")
+    assert not check(run_rule, text, module="tests.core.test_demo")
+    assert not check(run_rule, text, module=None)
+
+
+def test_ufunc_scatter_is_flagged_in_kernel_packages(run_rule):
+    text = """
+    def kernel(votes, idx):
+        np.add.at(votes, idx, 1)
+    """
+    violations = check(run_rule, text, module="repro.engine.demo")
+    assert len(violations) == 1
+    assert "np.add.at" in violations[0].message
+    # outside the kernel packages numpy is banned anyway (guarded-numpy);
+    # the scatter rule itself does not fire there.
+    assert not check(run_rule, text, module="repro.core.demo")

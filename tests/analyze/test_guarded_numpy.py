@@ -1,0 +1,105 @@
+"""guarded-numpy: the reference path stays dependency-free."""
+
+from __future__ import annotations
+
+import textwrap
+
+from tools.repro_analyze.checkers import guarded_numpy
+
+
+def check(run_rule, text, module):
+    return run_rule(guarded_numpy, textwrap.dedent(text), module)
+
+
+def test_import_outside_engine_is_flagged(run_rule):
+    violations = check(
+        run_rule,
+        """
+        import numpy as np
+
+        def mean(xs):
+            return np.mean(xs)
+        """,
+        "repro.blocking.demo",
+    )
+    assert len(violations) == 1
+    assert violations[0].rule == "guarded-numpy"
+    assert "outside repro.engine/repro.parallel" in violations[0].message
+
+
+def test_from_numpy_submodule_is_flagged(run_rule):
+    violations = check(
+        run_rule,
+        "from numpy.linalg import norm\n",
+        "repro.core.demo",
+    )
+    assert len(violations) == 1
+
+
+def test_unguarded_import_inside_engine_is_flagged(run_rule):
+    violations = check(
+        run_rule,
+        """
+        import numpy as np
+
+        def kernel(xs):
+            return np.asarray(xs)
+        """,
+        "repro.engine.demo",
+    )
+    assert len(violations) == 1
+    assert "before require_numpy()" in violations[0].message
+
+
+def test_guarded_import_inside_engine_is_clean(run_rule):
+    assert not check(
+        run_rule,
+        """
+        from repro.engine import require_numpy
+
+        require_numpy("repro.engine.demo")
+
+        import numpy as np  # noqa: E402
+        """,
+        "repro.engine.demo",
+    )
+
+
+def test_parallel_package_counts_as_guarded(run_rule):
+    assert not check(
+        run_rule,
+        """
+        from repro.engine import require_numpy
+
+        require_numpy("repro.parallel.demo")
+
+        import numpy as np  # noqa: E402
+        """,
+        "repro.parallel.demo",
+    )
+
+
+def test_try_except_importerror_probe_is_exempt(run_rule):
+    assert not check(
+        run_rule,
+        """
+        try:
+            import numpy as np
+        except ImportError:
+            np = None
+        """,
+        "repro.core.demo",
+    )
+
+
+def test_type_checking_block_is_exempt(run_rule):
+    assert not check(
+        run_rule,
+        """
+        from typing import TYPE_CHECKING
+
+        if TYPE_CHECKING:
+            import numpy as np
+        """,
+        "repro.core.demo",
+    )

@@ -1,0 +1,71 @@
+"""registry-metadata: aliases and takes_k stay consistent with factories."""
+
+from __future__ import annotations
+
+from repro.registry import ComponentRegistry
+from tools.repro_analyze.checkers import registry_metadata
+
+
+def no_k_factory():
+    return object()
+
+
+def k_factory(k=None):
+    return object()
+
+
+def violations_of(registry):
+    return list(registry_metadata.check_registry(registry))
+
+
+def test_consistent_registry_is_clean():
+    registry = ComponentRegistry("pruning algorithm")
+    registry.register("WEP", no_k_factory, aliases=("weighted-edge",))
+    registry.register("CEP", k_factory, aliases=("cardinality-edge",), takes_k=True)
+    assert not violations_of(registry)
+
+
+def test_redundant_alias_is_flagged():
+    registry = ComponentRegistry("pruning algorithm")
+    registry.register("WEP", no_k_factory, aliases=("wep",))
+    violations = violations_of(registry)
+    assert len(violations) == 1
+    assert "redundant alias" in violations[0].message
+
+
+def test_alias_shadowed_by_canonical_name_is_flagged():
+    registry = ComponentRegistry("pruning algorithm")
+    registry.register("CNP", k_factory, takes_k=True)
+    registry.register("OTHER", no_k_factory, aliases=("cnp",))
+    violations = violations_of(registry)
+    assert len(violations) == 1
+    assert "shadowed by the canonical name" in violations[0].message
+
+
+def test_alias_collision_between_entries_is_flagged():
+    registry = ComponentRegistry("weighting scheme")
+    registry.register("ALPHA", no_k_factory, aliases=("shared",))
+    registry.register("BETA", no_k_factory, aliases=("shared",))
+    violations = violations_of(registry)
+    assert len(violations) == 1
+    assert "collides with an alias" in violations[0].message
+
+
+def test_takes_k_without_k_parameter_is_flagged():
+    registry = ComponentRegistry("pruning algorithm")
+    registry.register("WEP", no_k_factory, takes_k=True)
+    violations = violations_of(registry)
+    assert len(violations) == 1
+    assert "declares no parameter 'k'" in violations[0].message
+
+
+def test_k_parameter_without_takes_k_is_flagged():
+    registry = ComponentRegistry("pruning algorithm")
+    registry.register("CEP", k_factory)
+    violations = violations_of(registry)
+    assert len(violations) == 1
+    assert "without takes_k=True" in violations[0].message
+
+
+def test_live_registries_are_clean():
+    assert not list(registry_metadata.check_project())

@@ -1,0 +1,61 @@
+"""The ``# repro-analyze: ignore[...]`` suppression grammar."""
+
+from __future__ import annotations
+
+import textwrap
+
+from tools.repro_analyze.checkers import determinism
+from tools.repro_analyze.core import find_suppressions
+
+SNIPPET = """
+def emit(tokens):
+    seen = set(tokens)
+    for token in seen:{comment}
+        print(token)
+"""
+
+
+def run(run_rule, comment=""):
+    text = textwrap.dedent(SNIPPET.format(comment=comment))
+    return run_rule(determinism, text, "repro.blocking.demo")
+
+
+def test_unsuppressed_snippet_is_flagged(run_rule):
+    assert len(run(run_rule)) == 1
+
+
+def test_rule_scoped_suppression_waives_the_line(run_rule):
+    comment = "  # repro-analyze: ignore[determinism] order-independent count"
+    assert not run(run_rule, comment)
+
+
+def test_bare_ignore_waives_every_rule(run_rule):
+    assert not run(run_rule, "  # repro-analyze: ignore")
+
+
+def test_other_rule_suppression_does_not_waive(run_rule):
+    comment = "  # repro-analyze: ignore[fork-safety] wrong rule"
+    assert len(run(run_rule, comment)) == 1
+
+
+def test_suppression_on_a_different_line_does_not_waive(run_rule):
+    text = textwrap.dedent(
+        """
+        # repro-analyze: ignore[determinism] comment on the wrong line
+        def emit(tokens):
+            for token in set(tokens):
+                print(token)
+        """
+    )
+    assert len(run_rule(determinism, text, "repro.blocking.demo")) == 1
+
+
+def test_marker_inside_a_string_literal_is_not_a_suppression():
+    text = 'MARKER = "# repro-analyze: ignore[determinism]"\n'
+    assert find_suppressions(text) == {}
+
+
+def test_comma_separated_rule_list():
+    text = "x = 1  # repro-analyze: ignore[determinism, fork-safety] why\n"
+    suppressions = find_suppressions(text)
+    assert suppressions == {1: {"determinism", "fork-safety"}}

@@ -55,7 +55,7 @@ class TestDigitError:
     def test_changes_exactly_one_digit(self, noise):
         value = "90210"
         corrupted = noise.digit_error(value, 1.0)
-        diffs = sum(a != b for a, b in zip(value, corrupted))
+        diffs = sum(a != b for a, b in zip(value, corrupted, strict=False))
         assert diffs == 1
         assert len(corrupted) == len(value)
 

@@ -14,7 +14,7 @@ from repro.engine.topk import sort_pairs_descending, top_k_pairs  # noqa: E402
 
 def reference_topk(i, j, w, k):
     stack = SortedStack()
-    for pi, pj, pw in zip(i, j, w):
+    for pi, pj, pw in zip(i, j, w, strict=True):
         stack.push(Comparison(pi, pj, pw))
         if len(stack) > k:
             stack.pop()
@@ -33,7 +33,9 @@ def test_top_k_matches_sorted_stack(k, seed):
 
     ia, ja, wa = (np.array(i), np.array(j), np.array(w))
     order = top_k_pairs(ia, ja, wa, k)
-    got = list(zip(ia[order].tolist(), ja[order].tolist(), wa[order].tolist()))
+    got = list(
+        zip(ia[order].tolist(), ja[order].tolist(), wa[order].tolist(), strict=True)
+    )
     want = [(c.i, c.j, c.weight) for c in reference_topk(i, j, w, k)]
     assert got == want
 
@@ -43,7 +45,7 @@ def test_sort_pairs_descending_total_order():
     j = np.array([5, 9, 2, 3])
     w = np.array([1.0, 1.0, 1.0, 2.0])
     order = sort_pairs_descending(i, j, w)
-    ranked = list(zip(i[order].tolist(), j[order].tolist()))
+    ranked = list(zip(i[order].tolist(), j[order].tolist(), strict=True))
     assert ranked == [(2, 3), (0, 2), (0, 9), (1, 5)]
 
 

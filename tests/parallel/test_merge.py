@@ -39,7 +39,7 @@ def test_merge_equals_global_lexsort(shards, size):
         chunk = np.argsort(-weights[lo:hi], kind="stable")
         ranked.append((i[lo:hi][chunk], j[lo:hi][chunk], weights[lo:hi][chunk]))
     merged = ShardMerger.merge(ranked)
-    for got, want in zip(merged, expected):
+    for got, want in zip(merged, expected, strict=True):
         np.testing.assert_array_equal(got, want)
 
 

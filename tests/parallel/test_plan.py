@@ -24,7 +24,7 @@ class TestInvariants:
         assert plan.shard_count == shards
         assert plan.shards[0].lo == 0
         assert plan.shards[-1].hi == 101
-        for left, right in zip(plan.shards, plan.shards[1:]):
+        for left, right in zip(plan.shards, plan.shards[1:], strict=False):
             assert left.hi == right.lo
 
     def test_balance_within_one_max_row(self):
@@ -35,7 +35,7 @@ class TestInvariants:
         shards = 4
         plan = ShardPlan.balanced(indptr, shards)
         ideal = int(masses.sum()) / shards
-        for shard, mass in zip(plan.shards, plan.masses(indptr)):
+        for shard, mass in zip(plan.shards, plan.masses(indptr), strict=True):
             if len(shard):
                 assert mass <= ideal + masses[shard.lo : shard.hi].max()
 

@@ -54,7 +54,7 @@ class TestLegacyPathIdentical:
     def test_stream_order_matches_legacy_iteration(self, toy_dataset):
         legacy = [
             c.pair
-            for _, c in zip(range(50), build_method("PPS", toy_dataset.store))
+            for _, c in zip(range(50), build_method("PPS", toy_dataset.store), strict=False)
         ]
         resolver = ERPipeline().budget(comparisons=50).fit(toy_dataset)
         assert [c.pair for c in resolver.stream()] == legacy

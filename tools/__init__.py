@@ -1,0 +1,6 @@
+"""Developer tooling that ships with the repository (not the package).
+
+``tools.repro_analyze`` is the project-specific static-analysis suite;
+run it from the repo root as ``python -m tools.repro_analyze src tests
+benchmarks``.
+"""

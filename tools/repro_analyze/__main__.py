@@ -1,0 +1,8 @@
+"""``python -m tools.repro_analyze`` entry point."""
+
+import sys
+
+from tools.repro_analyze.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

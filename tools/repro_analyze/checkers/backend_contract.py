@@ -1,0 +1,111 @@
+"""Rule ``backend-contract``: registered backends implement the seam.
+
+The seam is declared once, in :data:`repro.contracts.BACKEND_SEAM`;
+this rule walks the *live* ``repro.registry.backends`` registry and
+verifies every registered backend structurally provides each seam
+callable with the declared arity, plus the availability surface
+(``name`` / ``available`` / ``vectorized`` / ``require``).  Because it
+checks the registry rather than a hard-coded class list, a backend
+registered from anywhere - including a user extension module - is held
+to the same contract, and growing the seam in ``repro/contracts.py``
+fails lint until every backend implements the new method.
+
+mypy cross-verifies the same property nominally through the
+conformance assertions next to each backend class; this rule is the
+half that survives dynamic registration.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Iterator
+
+from tools.repro_analyze.core import Violation
+
+RULE = "backend-contract"
+
+_SURFACE = ("name", "available", "vectorized", "require")
+
+
+def _location(obj: Any) -> tuple[str, int]:
+    """Best-effort source location of a backend class."""
+    try:
+        path = inspect.getsourcefile(type(obj)) or "<registry>"
+        _, line = inspect.getsourcelines(type(obj))
+        return path, line
+    except (OSError, TypeError):
+        return "<registry>", 1
+
+
+def check_backends(
+    registry: Any,
+    seam: tuple[str, ...] | None = None,
+    arity: dict[str, int] | None = None,
+) -> Iterator[Violation]:
+    """Validate every backend in ``registry`` against the seam contract.
+
+    ``registry`` is anything with the :class:`ComponentRegistry` lookup
+    API; tests inject a scratch registry holding a deliberately broken
+    backend.
+    """
+    from repro import contracts
+
+    seam = contracts.BACKEND_SEAM if seam is None else seam
+    arity = contracts.BACKEND_SEAM_ARITY if arity is None else arity
+    for name in registry.names():
+        backend = registry.build(name)
+        path, line = _location(backend)
+        label = f"backend {name!r} ({type(backend).__name__})"
+        for attribute in _SURFACE:
+            if not hasattr(backend, attribute):
+                yield Violation(
+                    RULE, path, line, f"{label} lacks the {attribute!r} surface"
+                )
+        for method_name in seam:
+            method = getattr(backend, method_name, None)
+            if method is None:
+                yield Violation(
+                    RULE,
+                    path,
+                    line,
+                    f"{label} does not implement seam method {method_name!r} "
+                    "(declared in repro.contracts.BACKEND_SEAM)",
+                )
+                continue
+            if not callable(method):
+                yield Violation(
+                    RULE, path, line, f"{label}.{method_name} is not callable"
+                )
+                continue
+            expected = arity.get(method_name)
+            if expected is None:
+                continue
+            try:
+                signature = inspect.signature(method)
+            except (TypeError, ValueError):  # pragma: no cover - builtins
+                continue
+            try:
+                signature.bind(*([None] * expected))
+            except TypeError:
+                yield Violation(
+                    RULE,
+                    path,
+                    line,
+                    f"{label}.{method_name}{signature} does not accept the "
+                    f"{expected} seam argument(s) declared in "
+                    "repro.contracts.BACKEND_SEAM_ARITY",
+                )
+        if not isinstance(backend, contracts.Backend):
+            yield Violation(
+                RULE,
+                path,
+                line,
+                f"{label} does not satisfy the repro.contracts.Backend "
+                "protocol",
+            )
+
+
+def check_project() -> Iterator[Violation]:
+    from repro.registry import backends
+
+    yield from check_backends(backends)

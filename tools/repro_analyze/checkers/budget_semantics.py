@@ -1,0 +1,75 @@
+"""Rule ``budget-semantics``: zero budgets mean "emit nothing".
+
+``BudgetConfig`` documents ``comparisons=0`` / ``seconds=0`` as valid
+stopping rules - the resolver must emit *nothing*, not run unbounded.
+A truthiness test conflates ``0`` with "no budget configured"::
+
+    if budget:                  # wrong: 0 falls into the 'no budget' arm
+    limit = budget or DEFAULT   # wrong: 0 silently becomes DEFAULT
+
+This exact bug class shipped in PR 5 (``comparisons=0`` emitting the
+full stream) and is invisible to tests that only exercise positive
+budgets.  The rule flags truthiness tests on budget-shaped expressions
+- a name spelled ``budget``/``*_budget`` or a
+``comparisons``/``seconds``/``target_recall`` attribute reached through
+one - wherever they appear as a condition or boolean operand.  The fix
+is an explicit comparison: ``if budget is not None``, ``if remaining
+<= 0``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.repro_analyze.core import SourceFile, Violation
+
+RULE = "budget-semantics"
+
+_BUDGET_ATTRS = {"comparisons", "seconds", "target_recall"}
+
+
+def _budget_name(name: str) -> bool:
+    return name == "budget" or name.endswith("_budget")
+
+
+def _is_budget_expr(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        return _budget_name(node.id)
+    if isinstance(node, ast.Attribute):
+        if _budget_name(node.attr):
+            return True
+        if node.attr in _BUDGET_ATTRS:
+            base = ast.unparse(node.value).lower()
+            return "budget" in base
+    return False
+
+
+def _condition_hits(test: ast.expr) -> Iterator[ast.expr]:
+    """Budget expressions used for their truthiness inside ``test``."""
+    if _is_budget_expr(test):
+        yield test
+    elif isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+        yield from _condition_hits(test.operand)
+
+
+def check(source: SourceFile) -> Iterator[Violation]:
+    for node in ast.walk(source.tree):
+        tests: list[ast.expr] = []
+        if isinstance(node, (ast.If, ast.While, ast.IfExp, ast.Assert)):
+            tests.append(node.test)
+        elif isinstance(node, ast.BoolOp):
+            tests.extend(node.values)
+        elif isinstance(node, ast.comprehension):
+            tests.extend(node.ifs)
+        for test in tests:
+            for hit in _condition_hits(test):
+                yield Violation(
+                    RULE,
+                    source.path,
+                    hit.lineno,
+                    f"truthiness test on budget expression "
+                    f"{ast.unparse(hit)!r} treats 0 as 'no budget'; 0 means "
+                    "'emit nothing' - compare with `is None` or an explicit "
+                    "bound",
+                )

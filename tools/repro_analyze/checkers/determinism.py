@@ -1,0 +1,239 @@
+"""Rule ``determinism``: no hash-order iteration, no unordered scatters.
+
+The parity invariant requires every backend to emit the *same bytes* on
+every run: accumulations happen in one canonical sequential order and
+ties break by ``(-weight, i, j)``.  Two code shapes silently break
+that:
+
+* **iterating a ``set``** - element order follows the hash seed, so a
+  loop over a set that feeds emission, accumulation or id assignment
+  produces run-dependent output.  Wrap the iterable in ``sorted(...)``
+  or, for genuinely order-independent consumers (pure counting,
+  membership collection), suppress with a stated reason.  ``dict``
+  iteration is deliberately *not* flagged: insertion order is
+  guaranteed and the codebase builds dicts deterministically.
+* **``ufunc.at`` scatter accumulation** (``np.add.at`` and friends) in
+  the ``repro.engine`` / ``repro.parallel`` kernels - unordered by
+  contract, so float accumulation loses the sequential-order guarantee
+  the python reference establishes.  Integer counting is order
+  independent and may be suppressed with a reason; float paths must be
+  restructured (``np.bincount``/``np.cumsum`` run sequentially).
+
+The set-iteration half is scoped to library code (``repro.*``): test
+helpers iterate throwaway sets constantly and are covered by the parity
+suite itself.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.repro_analyze.core import SourceFile, Violation
+
+RULE = "determinism"
+
+_SET_NAMES = {"set", "frozenset", "Set", "MutableSet", "AbstractSet", "FrozenSet"}
+_SET_METHODS = {
+    "intersection",
+    "union",
+    "difference",
+    "symmetric_difference",
+}
+_SCATTER_UFUNCS = {"add", "subtract", "multiply", "maximum", "minimum"}
+
+
+def _annotation_is_set(annotation: ast.expr | None) -> bool:
+    if annotation is None:
+        return False
+    if isinstance(annotation, ast.Name):
+        return annotation.id in _SET_NAMES
+    if isinstance(annotation, ast.Subscript):
+        return _annotation_is_set(annotation.value)
+    if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+        # Optional sets: ``set[int] | None`` (either side may be the set).
+        return _annotation_is_set(annotation.left) or _annotation_is_set(
+            annotation.right
+        )
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        head = annotation.value.split("[", 1)[0].strip()
+        return head in _SET_NAMES
+    return False
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    """Whether the expression itself produces a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in _SET_METHODS:
+            return True
+    return False
+
+
+def _target_key(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return f"self.{node.attr}"
+    return None
+
+
+def _class_set_attrs(node: ast.ClassDef) -> set[str]:
+    """``self.attr`` slots any method of the class binds to a set.
+
+    Collected up front (not in visit order) so a method defined before
+    ``__init__`` still sees the attribute's set-ness.  An attribute with
+    *any* set binding counts: rebinding a set slot to another container
+    mid-lifecycle would itself be a determinism hazard.
+    """
+    attrs: set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Assign):
+            targets, value = sub.targets, sub.value
+        elif isinstance(sub, ast.AnnAssign):
+            targets = [sub.target]
+            value = sub.value
+            if _annotation_is_set(sub.annotation):
+                key = _target_key(sub.target)
+                if key is not None and key.startswith("self."):
+                    attrs.add(key)
+                continue
+        else:
+            continue
+        if value is not None and _is_set_expr(value):
+            for target in targets:
+                key = _target_key(target)
+                if key is not None and key.startswith("self."):
+                    attrs.add(key)
+    return attrs
+
+
+class _SetTracker(ast.NodeVisitor):
+    """Collect hash-order iteration sites over set-bound names."""
+
+    def __init__(self) -> None:
+        self.scopes: list[set[str]] = [set()]
+        self.hits: list[tuple[int, str]] = []
+
+    # -- scope plumbing -----------------------------------------------------
+
+    def _enter_function(self, node: ast.AST) -> None:
+        self.scopes.append(set())
+        self.generic_visit(node)
+        self.scopes.pop()
+
+    visit_FunctionDef = _enter_function
+    visit_AsyncFunctionDef = _enter_function
+    visit_Lambda = _enter_function
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.scopes.append(_class_set_attrs(node))
+        self.generic_visit(node)
+        self.scopes.pop()
+
+    def _mark(self, key: str, is_set: bool) -> None:
+        if key.startswith("self."):
+            return  # class slots are precomputed by _class_set_attrs
+        if is_set:
+            self.scopes[-1].add(key)
+        else:
+            self.scopes[-1].discard(key)
+
+    def _tracked(self, node: ast.expr) -> bool:
+        key = _target_key(node)
+        return key is not None and any(key in scope for scope in self.scopes)
+
+    # -- bindings -----------------------------------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            key = _target_key(target)
+            if key is not None:
+                self._mark(key, _is_set_expr(node.value))
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        key = _target_key(node.target)
+        if key is not None:
+            is_set = _annotation_is_set(node.annotation) or (
+                node.value is not None and _is_set_expr(node.value)
+            )
+            self._mark(key, is_set)
+        self.generic_visit(node)
+
+    def visit_arg(self, node: ast.arg) -> None:
+        if _annotation_is_set(node.annotation):
+            self.scopes[-1].add(node.arg)
+        self.generic_visit(node)
+
+    # -- iteration sites ----------------------------------------------------
+
+    def _check_iterable(self, node: ast.expr) -> None:
+        if _is_set_expr(node) or self._tracked(node):
+            self.hits.append((node.lineno, ast.unparse(node)))
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iterable(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node: ast.AST) -> None:
+        for comp in node.generators:  # type: ignore[attr-defined]
+            self._check_iterable(comp.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+
+def _in_kernel_package(module: str | None) -> bool:
+    if module is None:
+        return False
+    return any(
+        module == package or module.startswith(package + ".")
+        for package in ("repro.engine", "repro.parallel")
+    )
+
+
+def check(source: SourceFile) -> Iterator[Violation]:
+    module = source.module or ""
+    in_library = module == "repro" or module.startswith("repro.")
+    if in_library:
+        tracker = _SetTracker()
+        tracker.visit(source.tree)
+        for line, rendered in tracker.hits:
+            yield Violation(
+                RULE,
+                source.path,
+                line,
+                f"iterating set {rendered!r} in hash order; wrap it in "
+                "sorted(...) or suppress with the order-independence reason",
+            )
+    if _in_kernel_package(source.module):
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "at"
+                and isinstance(func.value, ast.Attribute)
+                and func.value.attr in _SCATTER_UFUNCS
+            ):
+                yield Violation(
+                    RULE,
+                    source.path,
+                    node.lineno,
+                    f"ufunc scatter np.{func.value.attr}.at is unordered; "
+                    "floats must accumulate sequentially (bincount/cumsum) - "
+                    "integer counting may be suppressed with a reason",
+                )

@@ -1,0 +1,133 @@
+"""Rule ``guarded-numpy``: numpy stays an optional, guarded dependency.
+
+The reference backend is dependency-free by contract; numpy belongs to
+the accelerator packages only, and even there every import must sit
+behind :func:`repro.engine.require_numpy` so a missing ``[speed]``
+extra surfaces as the documented actionable error instead of a raw
+``ModuleNotFoundError`` from deep inside a kernel.
+
+Allowed shapes:
+
+* ``import numpy`` in a module under ``repro.engine`` / ``repro.parallel``
+  *after* a ``require_numpy(...)`` call in the same file;
+* an availability probe - any numpy import inside ``try/except
+  ImportError`` (how ``HAS_NUMPY`` style feature flags are computed);
+* ``if TYPE_CHECKING:`` imports (no runtime import happens);
+* tests use ``pytest.importorskip("numpy")``, which is not an import
+  statement and therefore never trips this rule.
+
+Everything else is a violation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.repro_analyze.core import SourceFile, Violation
+
+RULE = "guarded-numpy"
+
+_GUARDED_PACKAGES = ("repro.engine", "repro.parallel")
+
+
+def _in_guarded_package(module: str | None) -> bool:
+    if module is None:
+        return False
+    return any(
+        module == package or module.startswith(package + ".")
+        for package in _GUARDED_PACKAGES
+    )
+
+
+def _is_numpy_import(node: ast.stmt) -> bool:
+    if isinstance(node, ast.Import):
+        return any(
+            alias.name == "numpy" or alias.name.startswith("numpy.")
+            for alias in node.names
+        )
+    if isinstance(node, ast.ImportFrom):
+        module = node.module or ""
+        return node.level == 0 and (
+            module == "numpy" or module.startswith("numpy.")
+        )
+    return False
+
+
+def _handles_import_error(handler: ast.ExceptHandler) -> bool:
+    names = []
+    if isinstance(handler.type, ast.Name):
+        names = [handler.type.id]
+    elif isinstance(handler.type, ast.Tuple):
+        names = [elt.id for elt in handler.type.elts if isinstance(elt, ast.Name)]
+    return any(name in ("ImportError", "ModuleNotFoundError") for name in names)
+
+
+def _exempt_spans(tree: ast.Module) -> list[tuple[int, int]]:
+    """Line spans where a numpy import is allowed regardless of guards."""
+    spans: list[tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Try) and any(
+            _handles_import_error(handler) for handler in node.handlers
+        ):
+            spans.append((node.lineno, node.end_lineno or node.lineno))
+        elif isinstance(node, ast.If):
+            test = node.test
+            name = (
+                test.id
+                if isinstance(test, ast.Name)
+                else test.attr
+                if isinstance(test, ast.Attribute)
+                else None
+            )
+            if name == "TYPE_CHECKING":
+                spans.append((node.lineno, node.end_lineno or node.lineno))
+    return spans
+
+
+def _guard_lines(tree: ast.Module) -> list[int]:
+    lines = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr
+                if isinstance(func, ast.Attribute)
+                else None
+            )
+            if name == "require_numpy":
+                lines.append(node.lineno)
+    return lines
+
+
+def check(source: SourceFile) -> Iterator[Violation]:
+    exempt = _exempt_spans(source.tree)
+    guards = _guard_lines(source.tree)
+    allowed_package = _in_guarded_package(source.module)
+    for node in ast.walk(source.tree):
+        if not isinstance(node, (ast.Import, ast.ImportFrom)):
+            continue
+        if not _is_numpy_import(node):
+            continue
+        if any(low <= node.lineno <= high for low, high in exempt):
+            continue
+        if not allowed_package:
+            yield Violation(
+                RULE,
+                source.path,
+                node.lineno,
+                "numpy import outside repro.engine/repro.parallel; keep the "
+                "reference path dependency-free (use the backend seam, a "
+                "try/except ImportError probe, or pytest.importorskip)",
+            )
+        elif not any(line < node.lineno for line in guards):
+            yield Violation(
+                RULE,
+                source.path,
+                node.lineno,
+                "numpy imported before require_numpy(); call "
+                'require_numpy("<module>") first so a missing [speed] extra '
+                "raises the documented actionable error",
+            )

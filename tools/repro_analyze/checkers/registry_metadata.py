@@ -1,0 +1,120 @@
+"""Rule ``registry-metadata``: registration records match the factories.
+
+Components are addressed through :class:`repro.registry.ComponentRegistry`
+with normalized names, aliases and free-form metadata; two drift modes
+have bitten or nearly bitten this repo:
+
+* **alias drift** - an alias that normalizes onto its own entry (dead
+  weight), onto *another* entry's canonical key (exact-entry-wins makes
+  it silently unreachable) or onto another entry's alias (last
+  registration wins, the first becomes unreachable);
+* **``takes_k`` drift** - the pruning dispatcher trusts
+  ``metadata["takes_k"]`` to decide whether to forward the cardinality
+  budget ``k``; a factory that declares ``k`` without the flag never
+  receives it, and a flagged factory without the parameter crashes at
+  dispatch.
+
+The rule validates every stock registry's live entries, so a
+registration added anywhere - decorator, loop, user extension - is
+checked without the AST having to understand the registration idiom.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Iterator
+
+from tools.repro_analyze.core import Violation
+
+RULE = "registry-metadata"
+
+
+def _location(factory: Any) -> tuple[str, int]:
+    try:
+        unwrapped = inspect.unwrap(factory)
+        path = inspect.getsourcefile(unwrapped) or "<registry>"
+        _, line = inspect.getsourcelines(unwrapped)
+        return path, line
+    except (OSError, TypeError):
+        return "<registry>", 1
+
+
+def _declares_k(factory: Any) -> bool:
+    try:
+        signature = inspect.signature(factory)
+    except (TypeError, ValueError):  # pragma: no cover - builtins only
+        return False
+    parameter = signature.parameters.get("k")
+    return parameter is not None and parameter.kind is not (
+        inspect.Parameter.VAR_KEYWORD
+    )
+
+
+def check_registry(registry: Any) -> Iterator[Violation]:
+    """Validate one registry's entries (injectable for tests)."""
+    from repro.registry import normalize
+
+    keys: dict[str, str] = {}
+    owners: dict[str, str] = {}
+    for name in registry.names():
+        keys[normalize(name)] = name
+    for name in registry.names():
+        entry = registry.entry(name)
+        path, line = _location(entry.factory)
+        label = f"{registry.kind} {entry.name!r}"
+        own_key = normalize(entry.name)
+        for alias in entry.aliases:
+            key = normalize(alias)
+            if key == own_key:
+                yield Violation(
+                    RULE,
+                    path,
+                    line,
+                    f"{label}: alias {alias!r} normalizes onto the entry's "
+                    "own name; drop the redundant alias",
+                )
+            elif key in keys:
+                yield Violation(
+                    RULE,
+                    path,
+                    line,
+                    f"{label}: alias {alias!r} is shadowed by the canonical "
+                    f"name of {registry.kind} {keys[key]!r} (exact entries "
+                    "win over aliases)",
+                )
+            elif key in owners and owners[key] != entry.name:
+                yield Violation(
+                    RULE,
+                    path,
+                    line,
+                    f"{label}: alias {alias!r} collides with an alias of "
+                    f"{registry.kind} {owners[key]!r} (last registration "
+                    "wins silently)",
+                )
+            owners.setdefault(key, entry.name)
+        takes_k = bool(entry.metadata.get("takes_k", False))
+        declares = _declares_k(entry.factory)
+        if takes_k and not declares:
+            yield Violation(
+                RULE,
+                path,
+                line,
+                f"{label} is registered with takes_k=True but its factory "
+                f"{entry.signature()} declares no parameter 'k'",
+            )
+        elif declares and not takes_k:
+            yield Violation(
+                RULE,
+                path,
+                line,
+                f"{label}'s factory declares parameter 'k' but is registered "
+                "without takes_k=True; the dispatcher will never forward a "
+                "cardinality budget",
+            )
+
+
+def check_project() -> Iterator[Violation]:
+    from repro.registry import _REGISTRIES
+
+    for _kind, registry in sorted(_REGISTRIES.items()):
+        yield from check_registry(registry)

@@ -1,0 +1,150 @@
+"""Orchestrates the rules over files and the project registries."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from tools.repro_analyze import checkers
+from tools.repro_analyze.core import (
+    Violation,
+    collect_files,
+    filter_suppressed,
+    parse_file,
+)
+
+#: Repo root: tools/repro_analyze/runner.py -> tools/repro_analyze -> tools -> root.
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _ensure_importable() -> None:
+    """Make ``repro`` importable for the project rules.
+
+    The tool runs from the repo root (``python -m tools.repro_analyze``)
+    where ``src`` is not on ``sys.path`` unless the caller exported
+    ``PYTHONPATH=src``; the project rules import the live registries,
+    so the src layout root is appended here.
+    """
+    src = str(REPO_ROOT / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+
+
+def rule_names() -> list[str]:
+    return sorted(module.RULE for module in checkers.ALL_RULES)
+
+
+def run_paths(
+    paths: Sequence[str],
+    *,
+    select: Iterable[str] | None = None,
+    project_rules: bool = True,
+    root: Path | None = None,
+) -> list[Violation]:
+    """All (unsuppressed) violations for ``paths``, sorted by location."""
+    root = REPO_ROOT if root is None else root
+    selected = set(select) if select is not None else None
+
+    def wanted(rule: str) -> bool:
+        return selected is None or rule in selected
+
+    violations: list[Violation] = []
+    for path in collect_files(paths, root):
+        source = parse_file(path, root)
+        if source is None:
+            # Syntax errors are the compile smoke's job; flag them here
+            # anyway so the analyzer never silently skips a file.
+            try:
+                rel = str(path.resolve().relative_to(root.resolve()))
+            except ValueError:
+                rel = str(path)
+            violations.append(
+                Violation("parse", rel, 1, "file does not parse; rules skipped")
+            )
+            continue
+        for module in checkers.FILE_RULES:
+            if wanted(module.RULE):
+                violations.extend(
+                    filter_suppressed(source, module.check(source))
+                )
+    if project_rules:
+        _ensure_importable()
+        for module in checkers.PROJECT_RULES:
+            if wanted(module.RULE):
+                violations.extend(_relativize(module.check_project(), root))
+    return sorted(violations, key=lambda v: (v.path, v.line, v.rule, v.message))
+
+
+def _relativize(violations: Iterable[Violation], root: Path) -> list[Violation]:
+    out = []
+    for violation in violations:
+        path = Path(violation.path)
+        if path.is_absolute():
+            try:
+                violation = Violation(
+                    violation.rule,
+                    str(path.resolve().relative_to(root.resolve())),
+                    violation.line,
+                    violation.message,
+                )
+            except ValueError:
+                pass
+        out.append(violation)
+    return out
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.repro_analyze",
+        description=(
+            "Project static analysis: parity-invariant rules the generic "
+            "linters cannot express (see docs/static-analysis.md)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests", "benchmarks"],
+        help="files or directories to scan (default: src tests benchmarks)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule names to run (default: all)",
+    )
+    parser.add_argument(
+        "--no-project",
+        action="store_true",
+        help="skip the registry-importing project rules (pure AST pass)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print rule names and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for name in rule_names():
+            print(name)
+        return 0
+
+    select = None
+    if args.select:
+        select = {part.strip() for part in args.select.split(",") if part.strip()}
+        unknown = select - set(rule_names())
+        if unknown:
+            parser.error(
+                f"unknown rule(s) {sorted(unknown)}; available: {rule_names()}"
+            )
+
+    violations = run_paths(
+        args.paths, select=select, project_rules=not args.no_project
+    )
+    for violation in violations:
+        print(violation.render())
+    if violations:
+        print(f"found {len(violations)} violation(s)")
+        return 1
+    return 0
