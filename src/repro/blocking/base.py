@@ -98,10 +98,19 @@ class BlockCollection:
 
     # -- aggregate statistics ---------------------------------------------------
 
+    def cardinalities(self) -> list[int]:
+        """||b|| of every block, in collection order.
+
+        Computed once and reused by the workflow stages (scheduling,
+        filtering) whose sort keys would otherwise recompute the
+        cardinality O(|B| log |B|) times.
+        """
+        er_type = self.store.er_type
+        return [block.cardinality(er_type) for block in self.blocks]
+
     def aggregate_cardinality(self) -> int:
         """||B|| - total comparisons entailed by the collection."""
-        er_type = self.store.er_type
-        return sum(block.cardinality(er_type) for block in self.blocks)
+        return sum(self.cardinalities())
 
     def mean_block_size(self) -> float:
         """Average |b| over the collection."""
@@ -144,8 +153,12 @@ class BlockCollection:
 
 def drop_singleton_blocks(collection: BlockCollection) -> BlockCollection:
     """Remove blocks that yield no comparison (size < 2 or single-source)."""
-    er_type = collection.store.er_type
+    cardinalities = collection.cardinalities()
     return BlockCollection(
-        (b for b in collection.blocks if b.cardinality(er_type) > 0),
+        (
+            block
+            for block, cardinality in zip(collection.blocks, cardinalities)
+            if cardinality > 0
+        ),
         collection.store,
     )

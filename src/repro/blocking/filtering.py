@@ -38,14 +38,14 @@ class BlockFiltering:
 
         # Rank blocks by ascending cardinality: the profile keeps its
         # smallest (most distinctive) blocks.  Ties broken by key for
-        # determinism.
+        # determinism.  Cardinalities are computed once per collection,
+        # not inside the sort key.
         er_type = store.er_type
+        blocks = collection.blocks
+        cardinalities = collection.cardinalities()
         order = sorted(
-            range(len(collection.blocks)),
-            key=lambda idx: (
-                collection.blocks[idx].cardinality(er_type),
-                collection.blocks[idx].key,
-            ),
+            range(len(blocks)),
+            key=lambda idx: (cardinalities[idx], blocks[idx].key),
         )
         rank_of_block = [0] * len(collection.blocks)
         for rank, block_index in enumerate(order):

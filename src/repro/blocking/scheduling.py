@@ -21,12 +21,13 @@ def block_scheduling(collection: BlockCollection) -> BlockCollection:
     unchanged).  The returned collection shares the Block objects but owns
     the new ordering; each block's ``block_id`` is its position in it.
     """
-    er_type = collection.store.er_type
-    ordered = sorted(
-        collection.blocks,
-        key=lambda block: (block.cardinality(er_type), block.key),
+    blocks = collection.blocks
+    cardinalities = collection.cardinalities()
+    order = sorted(
+        range(len(blocks)),
+        key=lambda idx: (cardinalities[idx], blocks[idx].key),
     )
-    scheduled = BlockCollection(ordered, collection.store)
+    scheduled = BlockCollection((blocks[idx] for idx in order), collection.store)
     scheduled.assign_block_ids()
     return scheduled
 

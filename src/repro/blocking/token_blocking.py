@@ -10,9 +10,11 @@ progressive methods.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from repro.blocking.base import Block, BlockCollection
 from repro.core.profiles import ERType, ProfileStore
-from repro.core.tokenization import DEFAULT_TOKENIZER, Tokenizer
+from repro.core.tokenization import DEFAULT_TOKENIZER, Tokenizer, token_stream
 from repro.registry import blocking_schemes
 
 
@@ -31,10 +33,21 @@ class TokenBlocking:
     def build(self, store: ProfileStore) -> BlockCollection:
         """One block per token shared by >= 2 profiles (cross-source for
         Clean-clean), in deterministic (alphabetical) key order."""
+        return self.build_from_pairs(token_stream(store, self.tokenizer), store)
+
+    @staticmethod
+    def build_from_pairs(
+        pairs: Iterable[tuple[str, int]], store: ProfileStore
+    ) -> BlockCollection:
+        """The grouping half of :meth:`build`, over a ``(token, id)`` stream.
+
+        Split out so the blocking substrate can cache one tokenization
+        sweep and replay it here; ``build`` routes through this method,
+        keeping a single grouping code path.
+        """
         buckets: dict[str, list[int]] = {}
-        for profile in store:
-            for token in self.tokenizer.distinct_profile_tokens(profile):
-                buckets.setdefault(token, []).append(profile.profile_id)
+        for token, profile_id in pairs:
+            buckets.setdefault(token, []).append(profile_id)
 
         blocks: list[Block] = []
         cross_source = store.er_type is ERType.CLEAN_CLEAN

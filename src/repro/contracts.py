@@ -32,6 +32,7 @@ from typing import Any, Iterator, Protocol, runtime_checkable
 #: this tuple, so extending it without implementing the new method on
 #: all registered backends fails the ``backend-contract`` rule.
 BACKEND_SEAM: tuple[str, ...] = (
+    "blocking_substrate",
     "profile_index",
     "weighting",
     "position_index",
@@ -48,6 +49,7 @@ BACKEND_SEAM: tuple[str, ...] = (
 #: against each implementation's signature, so an override that renames
 #: parameters still conforms but one that changes arity does not.
 BACKEND_SEAM_ARITY: dict[str, int] = {
+    "blocking_substrate": 2,
     "profile_index": 1,
     "weighting": 2,
     "position_index": 1,
@@ -96,8 +98,22 @@ class Backend(Protocol):
 
     # -- structure factories -----------------------------------------------
 
+    def blocking_substrate(self, store: Any, spec: Any) -> Any:
+        """A session blocking front end over one tokenization sweep.
+
+        The returned object satisfies :class:`BlockingSubstrate`: it
+        serves the blocked collection, the profile index and the
+        Neighbor List of one ``ProfileStore`` from a single cached
+        token sweep (the single-build guarantee).
+        """
+
     def profile_index(self, collection: Any) -> Any:
-        """A profile -> block-ids inverted index over scheduled blocks."""
+        """A profile -> block-ids inverted index over scheduled blocks.
+
+        ``collection`` is either a scheduled block collection or a
+        :class:`BlockingSubstrate`; vectorized backends build the CSR
+        index straight from a substrate's postings when given one.
+        """
 
     def weighting(self, name: str, index: Any) -> Any:
         """A weighting scheme instance bound to a profile index."""
@@ -124,6 +140,34 @@ class Backend(Protocol):
 
     def pruned_edges(self, graph: Any, algorithm: str, k: int | None) -> EdgeArrays:
         """The retained edges of the pruned Blocking Graph, ranked."""
+
+
+@runtime_checkable
+class BlockingSubstrate(Protocol):
+    """Structural type of a backend's blocking front end.
+
+    Built once per resolution session by
+    :meth:`Backend.blocking_substrate`; every structure below is served
+    from the same cached tokenization sweep, so a session never
+    tokenizes the store twice.  ``sweeps`` counts the sweeps actually
+    performed - the single-build regression test asserts it stays 1.
+    """
+
+    sweeps: int
+    #: Whether the served structures are the CSR/array versions (a
+    #: vectorized backend may consume them directly) or the reference
+    #: ones (vectorized consumers fall back to materialized blocks).
+    vectorized: bool
+
+    def blocks(self) -> Any:
+        """The blocked collection after purging/filtering (workflow order)."""
+
+    def profile_index(self, order: str) -> Any:
+        """The profile index over the final blocks in processing ``order``
+        (``"schedule"`` for PPS/PBS, ``"alpha"`` for ONLINE)."""
+
+    def neighbor_list(self, tie_order: str, seed: int) -> Any:
+        """The schema-agnostic Neighbor List (unpurged, unfiltered)."""
 
 
 @runtime_checkable
@@ -202,6 +246,7 @@ __all__ = [
     "BACKEND_SEAM_ARITY",
     "EdgeArrays",
     "Backend",
+    "BlockingSubstrate",
     "EmissionCore",
     "PPSCore",
     "PBSCore",

@@ -93,10 +93,30 @@ class Backend:
 
     # -- structure factories (the backend seam) ---------------------------
 
+    def blocking_substrate(self, store: Any, spec: Any) -> Any:
+        """A session blocking front end over one tokenization sweep.
+
+        Every structure the progressive methods need (final blocks,
+        profile indexes in either processing order, the Neighbor List)
+        derives lazily from the one cached sweep - see
+        :class:`repro.contracts.BlockingSubstrate`.
+        """
+        from repro.blocking.substrate import ReferenceSubstrate
+
+        return ReferenceSubstrate(store, spec)
+
     def profile_index(self, collection: Any) -> Any:
-        """A profile -> block-ids inverted index over scheduled blocks."""
+        """A profile -> block-ids inverted index over scheduled blocks.
+
+        Also accepts a :class:`~repro.contracts.BlockingSubstrate`, in
+        which case the index covers the substrate's final blocks in
+        schedule order.
+        """
+        from repro import contracts
         from repro.metablocking.profile_index import ProfileIndex
 
+        if isinstance(collection, contracts.BlockingSubstrate):
+            return collection.profile_index("schedule")
         return ProfileIndex(collection)
 
     def weighting(self, name: str, index: Any) -> Any:
@@ -180,10 +200,25 @@ class NumpyBackend(Backend):
         require_numpy("backend='numpy'")
         return self
 
+    def blocking_substrate(self, store: Any, spec: Any) -> Any:
+        self.require()
+        from repro.engine.substrate import ArraySubstrate
+
+        return ArraySubstrate(store, spec)
+
     def profile_index(self, collection: Any) -> Any:
         self.require()
+        from repro import contracts
         from repro.engine.csr import ArrayProfileIndex
 
+        if isinstance(collection, contracts.BlockingSubstrate):
+            if collection.vectorized:
+                # Array substrates build the CSR index straight from the
+                # postings - no Block objects, no re-scheduling.
+                return collection.profile_index("schedule")
+            from repro.blocking.scheduling import block_scheduling
+
+            return ArrayProfileIndex(block_scheduling(collection.blocks()))
         return ArrayProfileIndex(collection)
 
     def weighting(self, name: str, index: Any) -> Any:

@@ -67,7 +67,8 @@ class ArrayProfileIndex:
     """
 
     __slots__ = (
-        "collection",
+        "_collection",
+        "_block_keys",
         "store",
         "n_profiles",
         "block_cardinalities",
@@ -81,7 +82,8 @@ class ArrayProfileIndex:
     def __init__(self, collection: "BlockCollection") -> None:
         if any(block.block_id < 0 for block in collection.blocks):
             collection.assign_block_ids()
-        self.collection = collection
+        self._collection: "BlockCollection | None" = collection
+        self._block_keys: list[str] | None = None
         self.store = collection.store
         store = collection.store
         er_type = store.er_type
@@ -106,20 +108,84 @@ class ArrayProfileIndex:
         else:
             self.bp_indices = np.empty(0, dtype=np.int64)
 
+        self._build_pb()
+        self.sources = np.fromiter(
+            (profile.source for profile in store), dtype=np.int64, count=n
+        )
+
+    @classmethod
+    def from_csr(
+        cls,
+        store: object,
+        bp_indptr: np.ndarray,
+        bp_indices: np.ndarray,
+        block_cardinalities: np.ndarray,
+        block_keys: list[str],
+        sources: np.ndarray,
+    ) -> "ArrayProfileIndex":
+        """Build straight from block -> profile CSR arrays.
+
+        The array-native substrate's entry point: no ``Block`` objects
+        are touched.  ``block_keys`` (one per block, processing order)
+        are kept so :attr:`collection` can materialize reference blocks
+        lazily if a consumer asks for them.
+        """
+        self = cls.__new__(cls)
+        self._collection = None
+        self._block_keys = list(block_keys)
+        self.store = store  # type: ignore[assignment]
+        self.n_profiles = len(store)  # type: ignore[arg-type]
+        self.block_cardinalities = np.asarray(block_cardinalities, dtype=np.int64)
+        self.bp_indptr = np.asarray(bp_indptr, dtype=np.int64)
+        self.bp_indices = np.asarray(bp_indices, dtype=np.int64)
+        self._build_pb()
+        self.sources = np.asarray(sources, dtype=np.int64)
+        return self
+
+    def _build_pb(self) -> None:
         # Transpose to the profile -> blocks CSR.  Entries are generated
         # in ascending block-id order, so a stable sort by profile keeps
         # each profile's block list ascending - the property the LeCoBI
         # merge and the weighting accumulation order both rely on.
-        owners = np.repeat(np.arange(len(blocks), dtype=np.int64), sizes)
+        sizes = np.diff(self.bp_indptr)
+        owners = np.repeat(np.arange(len(sizes), dtype=np.int64), sizes)
         order = np.argsort(self.bp_indices, kind="stable")
         self.pb_indices = owners[order]
-        counts = np.bincount(self.bp_indices, minlength=n)
-        self.pb_indptr = np.zeros(n + 1, dtype=np.int64)
+        counts = np.bincount(self.bp_indices, minlength=self.n_profiles)
+        self.pb_indptr = np.zeros(self.n_profiles + 1, dtype=np.int64)
         np.cumsum(counts, out=self.pb_indptr[1:])
 
-        self.sources = np.fromiter(
-            (profile.source for profile in store), dtype=np.int64, count=n
-        )
+    @property
+    def collection(self) -> "BlockCollection":
+        """The indexed blocks as reference ``Block`` objects.
+
+        On the substrate path no ``Block`` objects exist up front; the
+        first access materializes them from the CSR arrays (ids stamped
+        to the processing order this index was built in).  Hot paths
+        never touch this - it serves introspection and the exhaustive
+        PPS tail.
+        """
+        if self._collection is None:
+            from repro.blocking.base import Block, BlockCollection
+
+            assert self._block_keys is not None
+            blocks = [
+                Block(
+                    key,
+                    self.bp_indices[start:end].tolist(),
+                    self.store,  # type: ignore[arg-type]
+                    block_id=block_id,
+                )
+                for block_id, (key, start, end) in enumerate(
+                    zip(
+                        self._block_keys,
+                        self.bp_indptr[:-1].tolist(),
+                        self.bp_indptr[1:].tolist(),
+                    )
+                )
+            ]
+            self._collection = BlockCollection(blocks, self.store)  # type: ignore[arg-type]
+        return self._collection
 
     # -- lookups (ProfileIndex API) -----------------------------------------
 
@@ -139,7 +205,7 @@ class ArrayProfileIndex:
 
     def block_count(self) -> int:
         """|B| - number of blocks in the indexed collection."""
-        return len(self.collection.blocks)
+        return len(self.block_cardinalities)
 
     def block_counts_per_profile(self) -> np.ndarray:
         """|B_i| for every profile id (0 for unindexed profiles)."""

@@ -30,7 +30,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Iterator
 
 from repro.blocking.base import BlockCollection
-from repro.blocking.workflow import token_blocking_workflow
+from repro.blocking.substrate import SubstrateSpec
 from repro.core.comparisons import Comparison
 from repro.core.profiles import ProfileStore
 from repro.core.tokenization import DEFAULT_TOKENIZER, Tokenizer
@@ -41,6 +41,7 @@ from repro.progressive.base import ProgressiveMethod
 from repro.registry import progressive_methods
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.contracts import BlockingSubstrate
     from repro.engine.weights import ArrayBlockingGraph
 
 
@@ -58,7 +59,12 @@ class OnlineRanked(ProgressiveMethod):
         Blocking workflow builds them (``purge_ratio``/``filter_ratio``
         knobs below).
     tokenizer, purge_ratio, filter_ratio:
-        Workflow knobs (ignored when ``blocks`` is given).
+        Workflow knobs (ignored when ``blocks`` or ``substrate`` is given).
+    substrate:
+        A pre-built session :class:`~repro.contracts.BlockingSubstrate`
+        (the Resolver injects its shared one so the whole session
+        tokenizes the store exactly once).  Ignored when ``blocks`` is
+        given.
     backend:
         ``"python"`` (reference) or ``"numpy"`` (CSR engine: one
         :class:`~repro.engine.weights.ArrayBlockingGraph` build plus one
@@ -76,11 +82,13 @@ class OnlineRanked(ProgressiveMethod):
         purge_ratio: float | None = 0.1,
         filter_ratio: float | None = 0.8,
         backend: str = "python",
+        substrate: "BlockingSubstrate | None" = None,
     ) -> None:
         super().__init__(store)
         self.weighting_name = weighting
         self.backend = get_backend(backend).require()
         self._input_blocks = blocks
+        self._substrate = substrate
         self.tokenizer = tokenizer
         self.purge_ratio = purge_ratio
         self.filter_ratio = filter_ratio
@@ -93,12 +101,34 @@ class OnlineRanked(ProgressiveMethod):
     def _setup(self) -> None:
         blocks = self._input_blocks
         if blocks is None:
-            blocks = token_blocking_workflow(
-                self.store,
-                tokenizer=self.tokenizer,
-                purge_ratio=self.purge_ratio,
-                filter_ratio=self.filter_ratio,
-            )
+            substrate = self._substrate
+            if substrate is None:
+                substrate = self.backend.blocking_substrate(
+                    self.store,
+                    SubstrateSpec(
+                        tokenizer=self.tokenizer,
+                        purge_ratio=self.purge_ratio,
+                        filter_ratio=self.filter_ratio,
+                    ),
+                )
+                self._substrate = substrate
+            if self.backend.vectorized == substrate.vectorized:
+                # Alphabetical-order index served (and cached) by the
+                # substrate; the postings are already in key order, so
+                # the array path never materializes Block objects.
+                index = substrate.profile_index("alpha")
+                self.profile_index = index  # type: ignore[assignment]
+                if self.backend.vectorized:
+                    self._graph = self.backend.blocking_graph(
+                        index, self.weighting_name
+                    )
+                    self.scheme = self._graph  # type: ignore[assignment]
+                else:
+                    self.scheme = make_scheme(self.weighting_name, index)
+                return
+            # Backend/substrate mismatch (explicit injection): fall back
+            # to materialized blocks and the generic path below.
+            blocks = substrate.blocks()
         # Alphabetical key order, not cardinality scheduling: block ids
         # must match the incremental weighter's accumulation order.
         ordered = BlockCollection(

@@ -119,6 +119,16 @@ class ParallelBackend(NumpyBackend):
 
     # -- core factories (the seam the methods consume) -----------------------
 
+    def blocking_substrate(self, store: Any, spec: Any) -> Any:
+        """The array substrate with its tokenization sweep sharded over
+        the pool (bit-identical to the sequential build)."""
+        self.require()
+        from repro.parallel.substrate import ShardedSubstrate
+
+        return ShardedSubstrate(
+            store, spec, shards=self.shards, pool=self.pool()
+        )
+
     def blocking_graph(self, index: Any, weighting: str) -> Any:
         self.require()
         from repro.engine.weights import make_array_scheme

@@ -1,0 +1,131 @@
+"""Sharded blocking substrate: the tokenization sweep, fanned out.
+
+The array-native substrate's one remaining Python loop is the
+tokenization sweep itself.  :class:`ShardedSubstrate` dispatches
+contiguous profile ranges across the
+:class:`~repro.parallel.pool.WorkerPool` - each worker interns tokens
+locally over its range - and merges the local vocabularies into the
+global intern map with an exact postings reconstruction:
+
+* shard ranges are contiguous and ascending, so concatenated per-shard
+  pair arrays reproduce the sequential profile-major pair order exactly;
+* merging shard vocabularies in shard order reproduces the sequential
+  first-appearance intern order (a token's first appearance lives in
+  the earliest shard that contains it).
+
+Everything downstream (postings grouping, vectorized purge/filter, the
+index and Neighbor List views) is inherited unchanged from
+:class:`~repro.engine.substrate.ArraySubstrate`, so the sharded build
+is bit-identical to the sequential one for every shard count - the
+parity suite sweeps shards 1, 2, 3 and 7 through both transports.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.engine import require_numpy
+
+require_numpy("repro.parallel.substrate")
+
+import numpy as np  # noqa: E402  (guarded optional dependency)
+
+from repro.engine.substrate import ArraySubstrate  # noqa: E402
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.blocking.substrate import SubstrateSpec
+    from repro.core.profiles import ProfileStore
+
+
+def tokenize_range_task(
+    payload: dict[str, Any], shard: tuple[int, int]
+) -> tuple[list[str], np.ndarray, np.ndarray]:
+    """Tokenize profiles ``[lo, hi)``: local vocabulary + pair arrays.
+
+    Returns the shard's token names in first-appearance order, the
+    local token id of every ``(profile, token)`` pair (profile-major,
+    first-appearance order per profile - the sequential sweep's order
+    restricted to the range) and the per-profile token counts.
+    """
+    lo, hi = shard
+    store = payload["store"]
+    tokenizer = payload["tokenizer"]
+    intern: dict[str, int] = {}
+    setdefault = intern.setdefault
+    token_ids: list[int] = []
+    append = token_ids.append
+    counts: list[int] = []
+    for profile_id in range(lo, hi):
+        tokens = tokenizer.distinct_profile_tokens(store[profile_id])
+        counts.append(len(tokens))
+        for token in tokens:
+            append(setdefault(token, len(intern)))
+    return (
+        list(intern),
+        np.asarray(token_ids, dtype=np.int64),
+        np.asarray(counts, dtype=np.int64),
+    )
+
+
+class ShardedSubstrate(ArraySubstrate):
+    """The array substrate with a sharded tokenization sweep.
+
+    Parameters
+    ----------
+    store, spec:
+        As :class:`~repro.engine.substrate.ArraySubstrate`.
+    shards:
+        Ranges the sweep splits into (>= 1).
+    pool:
+        The backend's :class:`~repro.parallel.pool.WorkerPool`; ``None``
+        runs the shard task inline per range (the same code path).
+    """
+
+    def __init__(
+        self,
+        store: "ProfileStore",
+        spec: "SubstrateSpec",
+        *,
+        shards: int = 1,
+        pool: Any = None,
+    ) -> None:
+        super().__init__(store, spec)
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.shards = shards
+        self.pool = pool
+
+    def _tokenize(self) -> tuple[list[str], np.ndarray, np.ndarray]:
+        from repro.parallel.plan import ShardPlan
+
+        plan = ShardPlan.uniform(len(self.store), self.shards)
+        ranges = list(plan.ranges())
+        payload = {"store": self.store, "tokenizer": self.spec.tokenizer}
+        if self.pool is None:
+            results = [tokenize_range_task(payload, shard) for shard in ranges]
+        else:
+            results = self.pool.run(tokenize_range_task, payload, ranges)
+
+        # Merge: shard vocabularies fold into the global intern map in
+        # shard order; local ids remap through one gather per shard.
+        intern: dict[str, int] = {}
+        setdefault = intern.setdefault
+        token_chunks: list[np.ndarray] = []
+        profile_chunks: list[np.ndarray] = []
+        for (names, local_tokens, counts), (lo, hi) in zip(results, ranges):
+            mapping = np.fromiter(
+                (setdefault(name, len(intern)) for name in names),
+                dtype=np.int64,
+                count=len(names),
+            )
+            token_chunks.append(mapping[local_tokens])
+            profile_chunks.append(
+                np.repeat(np.arange(lo, hi, dtype=np.int64), counts)
+            )
+        if token_chunks:
+            pair_tokens = np.concatenate(token_chunks)
+            pair_profiles = np.concatenate(profile_chunks)
+        else:
+            pair_tokens = np.empty(0, dtype=np.int64)
+            pair_profiles = np.empty(0, dtype=np.int64)
+        return list(intern), pair_tokens, pair_profiles

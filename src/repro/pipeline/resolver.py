@@ -124,6 +124,7 @@ class Resolver:
         self.dataset_name = dataset_name
         self._psn_key = psn_key
         self._blocks: BlockCollection | None = None
+        self._substrate: "object | None" = None
         self._pruned: list[Comparison] | None = None
         self._parallel_backend: "object | None" = None
         self.method: ProgressiveMethod | None = None
@@ -163,17 +164,55 @@ class Resolver:
             )
         return self._parallel_backend
 
+    def _substrate_spec(self) -> "Any | None":
+        """The shared-substrate spec of this session's blocking stage.
+
+        ``None`` when the stage is not the plain Token Blocking workflow
+        (custom schemes or scheme params build their own blocks and
+        bypass the substrate entirely).
+        """
+        blocking = self.config.blocking
+        if normalize(blocking.scheme) != "TOKEN" or blocking.params:
+            return None
+        from repro.blocking.substrate import SubstrateSpec
+
+        return SubstrateSpec(
+            purge_ratio=blocking.purge_ratio,
+            filter_ratio=blocking.filter_ratio,
+        )
+
+    def _session_substrate(self) -> "Any | None":
+        """The session's shared blocking substrate, built lazily (once).
+
+        One tokenization sweep serves the method build, graph pruning
+        and block introspection; ``None`` when the blocking stage cannot
+        be expressed as a substrate spec.
+        """
+        spec = self._substrate_spec()
+        if spec is None:
+            return None
+        if self._substrate is None:
+            from repro.engine import get_backend
+
+            backend = get_backend(self._method_backend()).require()
+            self._substrate = backend.blocking_substrate(self.store, spec)
+        return self._substrate
+
     def _ensure_blocks(self) -> BlockCollection:
         """Build (once) and return the blocking-stage output."""
         if self._blocks is None:
-            blocking = self.config.blocking
-            self._blocks = blocking_workflow(
-                self.store,
-                scheme=blocking.scheme,
-                purge_ratio=blocking.purge_ratio,
-                filter_ratio=blocking.filter_ratio,
-                **blocking.params,
-            )
+            substrate = self._session_substrate()
+            if substrate is not None:
+                self._blocks = substrate.blocks()
+            else:
+                blocking = self.config.blocking
+                self._blocks = blocking_workflow(
+                    self.store,
+                    scheme=blocking.scheme,
+                    purge_ratio=blocking.purge_ratio,
+                    filter_ratio=blocking.filter_ratio,
+                    **blocking.params,
+                )
         return self._blocks
 
     @property
@@ -181,10 +220,9 @@ class Resolver:
         """The blocking-stage output (None for methods that do not consume
         redundancy-positive blocks).
 
-        Built on first access.  On the default token workflow the method
-        builds its own (identical, deterministic) collection during
-        initialization, so reading this property performs one extra
-        blocking pass - introspection convenience, not the hot path."""
+        Built on first access.  On the default token workflow the blocks
+        materialize from the session's shared blocking substrate, so
+        reading this property costs no extra tokenization sweep."""
         if self._blocks is None and self._method_wants_blocks():
             self._ensure_blocks()
         return self._blocks
@@ -258,6 +296,17 @@ class Resolver:
             # bring-your-own-blocks call still honors the .meta() stage
             if progressive_methods.accepts(name, "weighting"):
                 kwargs.setdefault("weighting", self.config.meta.weighting)
+        # the session substrate: methods that accept one share this
+        # session's single tokenization sweep.  User-supplied workflow
+        # knobs in the method params opt the method out - its private
+        # build must honor them, and the shared substrate would not.
+        if progressive_methods.accepts(name, "substrate") and not (
+            {"substrate", "blocks", "tokenizer", "purge_ratio", "filter_ratio"}
+            & set(self.config.method.params)
+        ):
+            substrate = self._session_substrate()
+            if substrate is not None:
+                kwargs["substrate"] = substrate
         # the backend seam: only methods that declare it get the engine
         # selection; the rest (PSN, SA-PSN, SA-PSAB) stay backend-free
         if progressive_methods.accepts(name, "backend"):

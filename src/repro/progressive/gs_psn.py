@@ -26,7 +26,7 @@ stream either way.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from repro.core.comparisons import Comparison, ComparisonList
 from repro.core.profiles import ProfileStore
@@ -34,6 +34,9 @@ from repro.core.tokenization import DEFAULT_TOKENIZER, Tokenizer
 from repro.neighborlist.rcf import NeighborWeighting
 from repro.progressive.base import register_method
 from repro.progressive.ls_psn import _SimilarityBase
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.contracts import BlockingSubstrate
 
 
 @register_method("GSPSN")
@@ -56,6 +59,9 @@ class GSPSN(_SimilarityBase):
     backend:
         Execution backend: ``"python"`` (reference) or ``"numpy"``
         (array window kernels, requires the ``repro[speed]`` extra).
+    substrate:
+        A pre-built session :class:`~repro.contracts.BlockingSubstrate`
+        serving the Neighbor List from its cached tokenization sweep.
     """
 
     name = "GS-PSN"
@@ -69,10 +75,13 @@ class GSPSN(_SimilarityBase):
         tie_order: str = "random",
         seed: int | None = 0,
         backend: str = "python",
+        substrate: "BlockingSubstrate | None" = None,
     ) -> None:
         if max_window < 1:
             raise ValueError("max_window must be positive")
-        super().__init__(store, tokenizer, weighting, tie_order, seed, backend)
+        super().__init__(
+            store, tokenizer, weighting, tie_order, seed, backend, substrate
+        )
         self.max_window = max_window
         self._comparisons: ComparisonList | None = None
         self._window_arrays: tuple | None = None

@@ -30,6 +30,7 @@ from repro.neighborlist.rcf import NeighborWeighting, make_neighbor_weighting
 from repro.progressive.base import ProgressiveMethod, register_method
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.contracts import BlockingSubstrate
     from repro.engine import Backend
     from repro.engine.similarity import ArrayPSNCore
 
@@ -45,6 +46,7 @@ class _SimilarityBase(ProgressiveMethod):
         tie_order: str = "random",
         seed: int | None = 0,
         backend: "str | Backend" = "python",
+        substrate: "BlockingSubstrate | None" = None,
     ) -> None:
         super().__init__(store)
         self.tokenizer = tokenizer
@@ -56,18 +58,25 @@ class _SimilarityBase(ProgressiveMethod):
         self.backend = get_backend(backend).require()
         self.tie_order = tie_order
         self.seed = seed
+        self._substrate = substrate
         self.neighbor_list: NeighborList | None = None
         self.position_index: PositionIndex | None = None
         self._scan_ids: list[int] = []
         self._core: "ArrayPSNCore | None" = None
 
     def _build_structures(self) -> None:
-        self.neighbor_list = NeighborList.schema_agnostic(
-            self.store,
-            tokenizer=self.tokenizer,
-            tie_order=self.tie_order,
-            seed=self.seed,
-        )
+        # The Neighbor List comes from the session substrate's cached
+        # tokenization sweep (by design it sees the unpurged, unfiltered
+        # pair stream - the substrate's ratios never apply to it).
+        substrate = self._substrate
+        if substrate is None:
+            from repro.blocking.substrate import SubstrateSpec
+
+            substrate = self.backend.blocking_substrate(
+                self.store, SubstrateSpec(tokenizer=self.tokenizer)
+            )
+            self._substrate = substrate
+        self.neighbor_list = substrate.neighbor_list(self.tie_order, self.seed)
         if self.backend.vectorized:
             core = self.backend.psn_core(
                 self.neighbor_list, self.store, self.weighting
@@ -150,6 +159,9 @@ class LSPSN(_SimilarityBase):
     backend:
         Execution backend: ``"python"`` (reference) or ``"numpy"``
         (array window kernels, requires the ``repro[speed]`` extra).
+    substrate:
+        A pre-built session :class:`~repro.contracts.BlockingSubstrate`
+        serving the Neighbor List from its cached tokenization sweep.
     """
 
     name = "LS-PSN"
@@ -163,8 +175,11 @@ class LSPSN(_SimilarityBase):
         seed: int | None = 0,
         max_window: int | None = None,
         backend: str = "python",
+        substrate: "BlockingSubstrate | None" = None,
     ) -> None:
-        super().__init__(store, tokenizer, weighting, tie_order, seed, backend)
+        super().__init__(
+            store, tokenizer, weighting, tie_order, seed, backend, substrate
+        )
         self.max_window = max_window
 
     def _setup(self) -> None:

@@ -21,7 +21,7 @@ from typing import TYPE_CHECKING, Iterator
 
 from repro.blocking.base import BlockCollection
 from repro.blocking.scheduling import block_scheduling
-from repro.blocking.workflow import token_blocking_workflow
+from repro.blocking.substrate import SubstrateSpec
 from repro.core.comparisons import Comparison, ComparisonList
 from repro.core.profiles import ProfileStore
 from repro.core.tokenization import DEFAULT_TOKENIZER, Tokenizer
@@ -31,6 +31,7 @@ from repro.metablocking.weights import WeightingScheme, make_scheme
 from repro.progressive.base import ProgressiveMethod, register_method
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.contracts import BlockingSubstrate
     from repro.engine import Backend
     from repro.engine.equality import ArrayPBSCore
 
@@ -52,6 +53,11 @@ class PBS(ProgressiveMethod):
         Tokenizer for the default workflow (ignored when ``blocks`` given).
     purge_ratio, filter_ratio:
         Workflow knobs exposed for the ablation benches.
+    substrate:
+        A pre-built session :class:`~repro.contracts.BlockingSubstrate`
+        (the Resolver injects its shared one so the whole session
+        tokenizes the store exactly once).  Ignored when ``blocks`` is
+        given.
     backend:
         Execution backend: ``"python"`` (reference) or ``"numpy"`` (CSR
         engine, requires the ``repro[speed]`` extra); same stream either
@@ -69,11 +75,13 @@ class PBS(ProgressiveMethod):
         purge_ratio: float | None = 0.1,
         filter_ratio: float | None = 0.8,
         backend: "str | Backend" = "python",
+        substrate: "BlockingSubstrate | None" = None,
     ) -> None:
         super().__init__(store)
         self.weighting_name = weighting
         self.backend = get_backend(backend).require()
         self._input_blocks = blocks
+        self._substrate = substrate
         self.tokenizer = tokenizer
         self.purge_ratio = purge_ratio
         self.filter_ratio = filter_ratio
@@ -85,12 +93,38 @@ class PBS(ProgressiveMethod):
     def _setup(self) -> None:
         blocks = self._input_blocks
         if blocks is None:
-            blocks = token_blocking_workflow(
-                self.store,
-                tokenizer=self.tokenizer,
-                purge_ratio=self.purge_ratio,
-                filter_ratio=self.filter_ratio,
-            )
+            substrate = self._substrate
+            if substrate is None:
+                substrate = self.backend.blocking_substrate(
+                    self.store,
+                    SubstrateSpec(
+                        tokenizer=self.tokenizer,
+                        purge_ratio=self.purge_ratio,
+                        filter_ratio=self.filter_ratio,
+                    ),
+                )
+                self._substrate = substrate
+            if self.backend.vectorized:
+                # No Block objects on this path: the CSR index comes
+                # straight from the substrate's postings; the scheduled
+                # collection is never materialized (``self.scheduled``
+                # stays None - the emission runs off the core).
+                index = self.backend.profile_index(substrate)
+                graph = self.backend.blocking_graph(index, self.weighting_name)
+                self._core = self.backend.pbs_core(index, graph)
+                self.profile_index = index  # type: ignore[assignment]
+                self.scheme = graph  # type: ignore[assignment]
+                return
+            if not substrate.vectorized:
+                # Scheduled index served (and cached) by the substrate -
+                # shared with every other consumer of the session.
+                self.profile_index = substrate.profile_index("schedule")
+                self.scheduled = self.profile_index.collection
+                self.scheme = make_scheme(
+                    self.weighting_name, self.profile_index
+                )
+                return
+            blocks = substrate.blocks()
         self.scheduled = block_scheduling(blocks)
         if self.backend.vectorized:
             index = self.backend.profile_index(self.scheduled)
@@ -108,9 +142,9 @@ class PBS(ProgressiveMethod):
         Algorithm 3 lines 4-12: LeCoBI filters repeats; survivors get the
         Blocking Graph edge weight of their pair.
         """
-        assert self.scheduled is not None
         if self._core is not None:
             return ComparisonList(self._core.block_comparisons(block_id))
+        assert self.scheduled is not None
         assert self.profile_index is not None and self.scheme is not None
         block = self.scheduled[block_id]
         er_type = self.store.er_type
@@ -125,9 +159,9 @@ class PBS(ProgressiveMethod):
         return comparisons
 
     def _emit(self) -> Iterator[Comparison]:
-        assert self.scheduled is not None
         if self._core is not None:
             yield from self._core.emit()
             return
+        assert self.scheduled is not None
         for block_id in range(len(self.scheduled)):
             yield from self.block_comparisons(block_id).drain()

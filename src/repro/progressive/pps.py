@@ -34,7 +34,7 @@ from typing import TYPE_CHECKING, Iterator
 
 from repro.blocking.base import BlockCollection
 from repro.blocking.scheduling import block_scheduling
-from repro.blocking.workflow import token_blocking_workflow
+from repro.blocking.substrate import SubstrateSpec
 from repro.core.comparisons import Comparison, ComparisonList, SortedStack
 from repro.core.profiles import ProfileStore
 from repro.core.tokenization import DEFAULT_TOKENIZER, Tokenizer
@@ -44,6 +44,7 @@ from repro.metablocking.weights import WeightingScheme, make_scheme
 from repro.progressive.base import ProgressiveMethod, register_method
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.contracts import BlockingSubstrate
     from repro.engine import Backend
     from repro.engine.equality import ArrayPPSCore
 
@@ -67,9 +68,15 @@ class PPS(ProgressiveMethod):
         datasets keep a tight per-profile budget.
     blocks:
         Pre-built redundancy-positive blocks; when None the paper's Token
-        Blocking workflow (purging 10%, filtering 80%) is applied.
+        Blocking workflow (purging 10%, filtering 80%) is applied via the
+        backend's blocking substrate (one tokenization sweep).
     tokenizer, purge_ratio, filter_ratio:
-        Workflow knobs (ignored when ``blocks`` is given).
+        Workflow knobs (ignored when ``blocks`` or ``substrate`` is given).
+    substrate:
+        A pre-built session :class:`~repro.contracts.BlockingSubstrate`
+        (the :class:`~repro.pipeline.resolver.Resolver` injects its
+        shared one so the whole session tokenizes the store exactly
+        once).  Ignored when ``blocks`` is given.
     exhaustive:
         Append a tail draining all remaining distinct comparisons, making
         the eventual output identical to batch ER on the same blocks.
@@ -95,6 +102,7 @@ class PPS(ProgressiveMethod):
         filter_ratio: float | None = 0.8,
         exhaustive: bool = False,
         backend: "str | Backend" = "python",
+        substrate: "BlockingSubstrate | None" = None,
     ) -> None:
         if k_max is not None and k_max < 1:
             raise ValueError("k_max must be positive")
@@ -103,6 +111,7 @@ class PPS(ProgressiveMethod):
         self.backend = get_backend(backend).require()
         self.k_max = k_max
         self._input_blocks = blocks
+        self._substrate = substrate
         self.tokenizer = tokenizer
         self.purge_ratio = purge_ratio
         self.filter_ratio = filter_ratio
@@ -140,19 +149,41 @@ class PPS(ProgressiveMethod):
     def _setup(self) -> None:
         blocks = self._input_blocks
         if blocks is None:
-            blocks = token_blocking_workflow(
-                self.store,
-                tokenizer=self.tokenizer,
-                purge_ratio=self.purge_ratio,
-                filter_ratio=self.filter_ratio,
-            )
-        # Scheduling keeps block ids aligned with PBS (and LeCoBI usable by
-        # the exhaustive tail); PPS itself only needs cardinalities.
-        scheduled = block_scheduling(blocks)
-        if self.backend.vectorized:
-            self._setup_array(scheduled)
-            return
-        self.profile_index = ProfileIndex(scheduled)
+            substrate = self._substrate
+            if substrate is None:
+                substrate = self.backend.blocking_substrate(
+                    self.store,
+                    SubstrateSpec(
+                        tokenizer=self.tokenizer,
+                        purge_ratio=self.purge_ratio,
+                        filter_ratio=self.filter_ratio,
+                    ),
+                )
+                self._substrate = substrate
+            if self.backend.vectorized:
+                # The seam consumes the substrate directly: an array
+                # substrate serves the CSR index straight from its
+                # postings (no Block objects), a reference substrate
+                # falls back to materialized blocks inside the seam.
+                self._setup_array(substrate)
+                return
+            if substrate.vectorized:
+                self.profile_index = ProfileIndex(
+                    block_scheduling(substrate.blocks())
+                )
+            else:
+                # Scheduled index served (and cached) by the substrate -
+                # shared with every other consumer of the session.
+                self.profile_index = substrate.profile_index("schedule")
+        else:
+            # Scheduling keeps block ids aligned with PBS (and LeCoBI
+            # usable by the exhaustive tail); PPS itself only needs
+            # cardinalities.
+            scheduled = block_scheduling(blocks)
+            if self.backend.vectorized:
+                self._setup_array(scheduled)
+                return
+            self.profile_index = ProfileIndex(scheduled)
         self.scheme = make_scheme(self.weighting_name, self.profile_index)
         if self.k_max is None:
             # Adaptive K_max: average block comparisons per profile (each
@@ -196,13 +227,16 @@ class PPS(ProgressiveMethod):
         )
         self._initial_comparisons = initial
 
-    def _setup_array(self, scheduled: BlockCollection) -> None:
+    def _setup_array(
+        self, scheduled: "BlockCollection | BlockingSubstrate"
+    ) -> None:
         """Initialization on the CSR engine (same phases, array passes).
 
-        The core comes through the backend seam, so the sequential
-        ``numpy`` backend and the sharded ``numpy-parallel`` backend
-        both land in the same emission machinery over bit-identical
-        structures.
+        The core comes through the backend seam - which accepts either a
+        scheduled block collection or a blocking substrate - so the
+        sequential ``numpy`` backend and the sharded ``numpy-parallel``
+        backend both land in the same emission machinery over
+        bit-identical structures.
         """
         core = self.backend.pps_core(scheduled, self.weighting_name, self.k_max)
         self._core = core

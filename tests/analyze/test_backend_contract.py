@@ -25,6 +25,9 @@ class GoodBackend:
     def require(self):
         return self
 
+    def blocking_substrate(self, store, spec):
+        return None
+
     def profile_index(self, collection):
         return None
 

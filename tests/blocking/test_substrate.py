@@ -1,0 +1,137 @@
+"""ReferenceSubstrate: one cached sweep, workflow-identical structures."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.blocking.scheduling import block_scheduling
+from repro.blocking.substrate import (
+    SUBSTRATE_ORDERS,
+    ReferenceSubstrate,
+    SubstrateSpec,
+    check_order,
+)
+from repro.blocking.workflow import token_blocking_workflow
+from repro.core.profiles import ProfileStore
+from repro.neighborlist.neighbor_list import NeighborList
+
+WORDS = [
+    "alpha", "beta", "gamma", "delta", "epsilon",
+    "zeta", "eta", "theta", "iota", "kappa",
+]  # fmt: skip
+
+RATIO_COMBOS = [
+    (0.1, 0.8),
+    (None, 0.8),
+    (0.1, None),
+    (None, None),
+    (0.3, 0.5),
+    (1.0, 1.0),
+]
+
+
+def record(rng: random.Random) -> dict[str, str]:
+    return {
+        "title": " ".join(rng.sample(WORDS, 3)),
+        "year": str(1990 + rng.randrange(0, 12)),
+    }
+
+
+def dirty_store(n: int = 50, seed: int = 3) -> ProfileStore:
+    rng = random.Random(seed)
+    return ProfileStore.from_attribute_maps(record(rng) for _ in range(n))
+
+
+def clean_clean_store(seed: int = 4) -> ProfileStore:
+    rng = random.Random(seed)
+    left = [record(rng) for _ in range(30)]
+    right = [record(rng) for _ in range(25)]
+    return ProfileStore.clean_clean(left, right)
+
+
+def block_signature(collection):
+    return [(block.key, list(block.ids)) for block in collection.blocks]
+
+
+@pytest.fixture(params=["dirty", "clean_clean"])
+def store(request) -> ProfileStore:
+    return dirty_store() if request.param == "dirty" else clean_clean_store()
+
+
+class TestWorkflowParity:
+    @pytest.mark.parametrize("purge,filter_", RATIO_COMBOS)
+    def test_blocks_match_workflow(self, store, purge, filter_):
+        substrate = ReferenceSubstrate(
+            store, SubstrateSpec(purge_ratio=purge, filter_ratio=filter_)
+        )
+        expected = token_blocking_workflow(
+            store, purge_ratio=purge, filter_ratio=filter_
+        )
+        assert block_signature(substrate.blocks()) == block_signature(expected)
+
+    def test_schedule_order_matches_block_scheduling(self, store):
+        substrate = ReferenceSubstrate(store, SubstrateSpec())
+        expected = block_scheduling(token_blocking_workflow(store))
+        scheduled = substrate.ordered_blocks("schedule")
+        assert block_signature(scheduled) == block_signature(expected)
+        assert [b.block_id for b in scheduled.blocks] == list(
+            range(len(scheduled))
+        )
+
+    def test_alpha_order_is_sorted_by_key(self, store):
+        substrate = ReferenceSubstrate(store, SubstrateSpec())
+        ordered = substrate.ordered_blocks("alpha")
+        keys = [block.key for block in ordered.blocks]
+        assert keys == sorted(keys)
+
+    def test_profile_index_covers_ordered_blocks(self, store):
+        substrate = ReferenceSubstrate(store, SubstrateSpec())
+        for order in SUBSTRATE_ORDERS:
+            index = substrate.profile_index(order)
+            assert index.block_count() == len(substrate.blocks())
+            assert index is substrate.profile_index(order)  # cached
+
+    def test_neighbor_list_matches_schema_agnostic(self, store):
+        substrate = ReferenceSubstrate(store, SubstrateSpec())
+        for tie_order, seed in (("insertion", 0), ("random", 0), ("random", 9)):
+            built = substrate.neighbor_list(tie_order, seed)
+            expected = NeighborList.schema_agnostic(
+                store, tie_order=tie_order, seed=seed
+            )
+            assert built.entries == expected.entries
+            assert built.keys == expected.keys
+
+
+class TestSingleSweep:
+    def test_all_views_cost_one_sweep(self, store):
+        substrate = ReferenceSubstrate(store, SubstrateSpec())
+        assert substrate.sweeps == 0
+        substrate.blocks()
+        substrate.ordered_blocks("schedule")
+        substrate.ordered_blocks("alpha")
+        substrate.profile_index("schedule")
+        substrate.profile_index("alpha")
+        substrate.neighbor_list("insertion", 0)
+        substrate.neighbor_list("random", 7)
+        assert substrate.sweeps == 1
+
+    def test_blocks_are_cached(self, store):
+        substrate = ReferenceSubstrate(store, SubstrateSpec())
+        assert substrate.blocks() is substrate.blocks()
+
+    def test_reordering_restamps_shared_block_ids(self, store):
+        substrate = ReferenceSubstrate(store, SubstrateSpec())
+        scheduled = substrate.ordered_blocks("schedule")
+        ids_before = [block.block_id for block in scheduled.blocks]
+        substrate.ordered_blocks("alpha")  # re-stamps the shared blocks
+        rescheduled = substrate.ordered_blocks("schedule")
+        assert [block.block_id for block in rescheduled.blocks] == ids_before
+
+
+def test_check_order_rejects_unknown_names():
+    with pytest.raises(ValueError, match="unknown substrate order"):
+        check_order("sideways")
+    for order in SUBSTRATE_ORDERS:
+        assert check_order(order) == order

@@ -1,0 +1,125 @@
+"""Single-build guarantee: one tokenization sweep per resolution session.
+
+The session substrate is the only component allowed to touch the store's
+attribute values; every consumer (method initialization, graph pruning,
+block introspection) derives from its cached sweep.  The regression
+tests count actual ``Tokenizer.distinct_profile_tokens`` calls - exactly
+one per profile means exactly one sweep.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.tokenization import Tokenizer
+from repro.engine import HAS_NUMPY
+from repro.pipeline import ERPipeline
+
+BACKENDS = ["python"] + (["numpy", "numpy-parallel"] if HAS_NUMPY else [])
+
+SUBSTRATE_METHODS = ["PPS", "PBS", "ONLINE", "LSPSN", "GSPSN"]
+
+WORDS = ["ada", "bell", "curie", "darwin", "euler", "fermi", "gauss", "hopper"]
+
+
+def make_data(n: int = 40, seed: int = 13) -> list[dict[str, str]]:
+    rng = random.Random(seed)
+    return [
+        {
+            "name": " ".join(rng.sample(WORDS, 3)),
+            "year": str(1900 + rng.randrange(0, 30)),
+        }
+        for _ in range(n)
+    ]
+
+
+@pytest.fixture
+def sweep_counter(monkeypatch):
+    """Counts per-profile tokenizations across every Tokenizer instance."""
+    calls = {"count": 0}
+    original = Tokenizer.distinct_profile_tokens
+
+    def counting(self, profile):
+        calls["count"] += 1
+        return original(self, profile)
+
+    monkeypatch.setattr(Tokenizer, "distinct_profile_tokens", counting)
+    return calls
+
+
+def pipeline_for(method: str, backend: str) -> ERPipeline:
+    pipeline = ERPipeline().method(method).backend(backend)
+    if backend == "numpy-parallel":
+        # Inline shards: the counter lives in this process, and the
+        # sharded build must not fork for a correctness test.
+        pipeline = pipeline.parallel(workers=0, shards=3)
+    return pipeline
+
+
+class TestOneSweepPerResolve:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("method", SUBSTRATE_METHODS)
+    def test_full_stream_tokenizes_each_profile_once(
+        self, sweep_counter, method, backend
+    ):
+        resolver = pipeline_for(method, backend).fit(make_data())
+        emitted = sum(1 for _ in resolver.stream())
+        assert emitted > 0
+        assert sweep_counter["count"] == len(resolver.store)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_pruning_stage_shares_the_sweep(self, sweep_counter, backend):
+        resolver = (
+            pipeline_for("PPS", backend).meta(pruning="WNP").fit(make_data())
+        )
+        emitted = sum(1 for _ in resolver.stream())
+        assert emitted > 0
+        assert sweep_counter["count"] == len(resolver.store)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_blocks_property_costs_no_extra_sweep(self, sweep_counter, backend):
+        resolver = pipeline_for("PBS", backend).fit(make_data())
+        list(resolver.stream())
+        assert resolver.blocks is not None
+        assert len(resolver.blocks) > 0
+        assert sweep_counter["count"] == len(resolver.store)
+
+    def test_substrate_is_shared_between_resolver_and_method(self):
+        resolver = pipeline_for("PPS", "python").fit(make_data())
+        resolver.initialize()
+        assert resolver.method is not None
+        substrate = resolver.method._substrate
+        assert substrate is resolver._session_substrate()
+        assert substrate.sweeps == 1
+
+    def test_substrate_survives_reset(self, sweep_counter):
+        resolver = pipeline_for("ONLINE", "python").fit(make_data())
+        list(resolver.stream())
+        resolver.reset()
+        list(resolver.stream())
+        # reset() rebuilds the method but reuses the session substrate.
+        assert sweep_counter["count"] == len(resolver.store)
+
+
+class TestSubstrateOptOut:
+    def test_custom_blocking_scheme_bypasses_the_substrate(self):
+        resolver = (
+            ERPipeline().blocking("suffix").method("PPS").fit(make_data())
+        )
+        resolver.initialize()
+        assert resolver._session_substrate() is None
+
+    def test_method_level_workflow_knobs_opt_out(self):
+        resolver = (
+            ERPipeline()
+            .method("PPS", purge_ratio=0.5)
+            .fit(make_data())
+        )
+        resolver.initialize()
+        # The method builds privately (its knob differs from the stage's);
+        # the session substrate must not be injected underneath it.
+        assert resolver.method._substrate is not None
+        assert resolver.method._substrate is not resolver._substrate
+        assert resolver.method._substrate.spec.purge_ratio == 0.5
