@@ -1,10 +1,19 @@
-"""Dataset container and shared generator helpers."""
+"""Dataset container and shared generator helpers.
+
+Besides the in-RAM :class:`~repro.core.profiles.ProfileStore`, this
+module defines :class:`ChunkedProfileStore` - the streaming face of the
+same contract: profiles are *built on demand* in fixed-size chunks from
+a deterministic source, so a million-profile corpus is never resident
+as objects all at once (the tokenization sweep iterates it chunk by
+chunk).  Any object with the small :class:`ProfileChunkSource` duck API
+can back it; :mod:`repro.datasets.synthetic` is the canonical producer.
+"""
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Iterator
 
 from repro.core.ground_truth import GroundTruth
 from repro.core.profiles import EntityProfile, ERType, ProfileStore
@@ -22,7 +31,7 @@ class Dataset:
     """
 
     name: str
-    store: ProfileStore
+    store: ProfileStore | ChunkedProfileStore
     ground_truth: GroundTruth
     description: str = ""
     scale: float = 1.0
@@ -122,3 +131,159 @@ def shuffled_store(
         group for group in members.values() if len(group) >= 2
     )
     return store, truth
+
+
+class ProfileChunkSource:
+    """Duck API a :class:`ChunkedProfileStore` builds profiles from.
+
+    Implementations (which need not subclass this) provide:
+
+    * ``n_profiles`` - total profile count (dense ids ``0..n-1``);
+    * ``er_type`` - the task shape;
+    * ``source_boundary`` - first profile id of source 1; equal to
+      ``n_profiles`` for Dirty ER.  Clean-clean sources must occupy the
+      id ranges ``[0, boundary)`` and ``[boundary, n)``, matching
+      :meth:`ProfileStore.clean_clean`;
+    * ``build_chunk(start, stop)`` - the profiles with ids
+      ``start..stop-1``, freshly built.  Must be **deterministic and
+      range-independent**: the profile for id ``i`` is byte-identical
+      however the range enclosing ``i`` is chosen (that is what makes
+      the stream invariant under chunk size), and the object must stay
+      picklable so sharded sweeps can ship it to workers.
+    """
+
+    n_profiles: int
+    er_type: ERType
+    source_boundary: int
+
+    def build_chunk(self, start: int, stop: int) -> list[EntityProfile]:
+        raise NotImplementedError
+
+
+class ChunkedProfileStore:
+    """A :class:`ProfileStore`-compatible view that streams its profiles.
+
+    Profiles come from a deterministic :class:`ProfileChunkSource` in
+    fixed-size chunks; at most one chunk of :class:`EntityProfile`
+    objects is resident at a time (a one-slot cache serves repeated
+    ``store[i]`` hits within the same chunk).  Everything positional -
+    ``source_of``, ``valid_comparison``, the candidate count - is O(1)
+    from the source boundary; the Table 2 statistics that genuinely
+    need attribute contents perform one streaming pass and cache the
+    result.
+
+    Pickling drops the chunk cache, so shipping the store to worker
+    processes costs only the (small) source object.
+    """
+
+    def __init__(self, source: ProfileChunkSource, chunk_size: int = 8192) -> None:
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.source = source
+        self.chunk_size = int(chunk_size)
+        self.er_type = source.er_type
+        self._n = int(source.n_profiles)
+        self._boundary = int(source.source_boundary)
+        if not 0 <= self._boundary <= self._n:
+            raise ValueError(
+                f"source_boundary {self._boundary} outside [0, {self._n}]"
+            )
+        self._cache_start = -1
+        self._cache: list[EntityProfile] = []
+        self._scan_stats: tuple[int, dict[int, int], float] | None = None
+
+    # -- container protocol ------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __getitem__(self, profile_id: int) -> EntityProfile:
+        if not 0 <= profile_id < self._n:
+            raise IndexError(profile_id)
+        start = (profile_id // self.chunk_size) * self.chunk_size
+        if start != self._cache_start:
+            self._cache = self.source.build_chunk(
+                start, min(start + self.chunk_size, self._n)
+            )
+            self._cache_start = start
+        return self._cache[profile_id - start]
+
+    def __iter__(self) -> Iterator[EntityProfile]:
+        for chunk in self.iter_chunks():
+            yield from chunk
+
+    def iter_chunks(self) -> Iterator[list[EntityProfile]]:
+        """The profiles in id order, one freshly-built chunk at a time."""
+        for start in range(0, self._n, self.chunk_size):
+            yield self.source.build_chunk(
+                start, min(start + self.chunk_size, self._n)
+            )
+
+    def __getstate__(self) -> dict[str, object]:
+        state = dict(self.__dict__)
+        state["_cache_start"] = -1
+        state["_cache"] = []
+        return state
+
+    # -- task semantics ----------------------------------------------------
+
+    def source_of(self, profile_id: int) -> int:
+        return 0 if profile_id < self._boundary else 1
+
+    def source_size(self, source: int) -> int:
+        if source == 0:
+            return self._boundary
+        if source == 1:
+            return self._n - self._boundary
+        return 0
+
+    def source_ids(self, source: int) -> list[int]:
+        if source == 0:
+            return list(range(self._boundary))
+        if source == 1:
+            return list(range(self._boundary, self._n))
+        return []
+
+    def valid_comparison(self, i: int, j: int) -> bool:
+        if i == j:
+            return False
+        if self.er_type is ERType.DIRTY:
+            return True
+        return self.source_of(i) != self.source_of(j)
+
+    def total_candidate_comparisons(self) -> int:
+        if self.er_type is ERType.DIRTY:
+            return self._n * (self._n - 1) // 2
+        return self.source_size(0) * self.source_size(1)
+
+    # -- statistics (one streaming pass, cached) ---------------------------
+
+    def _scan(self) -> tuple[int, dict[int, int], float]:
+        if self._scan_stats is None:
+            names: dict[int, set[str]] = {}
+            total_pairs = 0
+            for profile in self:
+                bucket = names.setdefault(profile.source, set())
+                for name, _ in profile.pairs:
+                    bucket.add(name)
+                total_pairs += len(profile.pairs)
+            union = len(set().union(*names.values())) if names else 0
+            counts = {source: len(bucket) for source, bucket in names.items()}
+            mean = total_pairs / self._n if self._n else 0.0
+            self._scan_stats = (union, counts, mean)
+        return self._scan_stats
+
+    def attribute_name_count(self) -> int:
+        return self._scan()[0]
+
+    def attribute_name_count_by_source(self) -> dict[int, int]:
+        return dict(self._scan()[1])
+
+    def mean_pairs_per_profile(self) -> float:
+        return self._scan()[2]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ChunkedProfileStore({self._n} profiles, {self.er_type.value}, "
+            f"chunk_size={self.chunk_size})"
+        )

@@ -22,6 +22,7 @@ from repro.datasets.structured import (
     generate_cora,
     generate_restaurant,
 )
+from repro.datasets.synthetic import generate_synthetic
 
 _GENERATORS: dict[str, tuple[Callable[..., Dataset], float]] = {
     # name: (generator, default scale)
@@ -32,15 +33,23 @@ _GENERATORS: dict[str, tuple[Callable[..., Dataset], float]] = {
     "movies": (generate_movies, 0.04),
     "dbpedia": (generate_dbpedia, 0.002),
     "freebase": (generate_freebase, 0.001),
+    # Scale workload: 1.0 = 1M profiles (streamed, never fully
+    # resident); the default keeps interactive loads laptop-sized.
+    "synthetic": (generate_synthetic, 0.01),
 }
 
 STRUCTURED_DATASETS = ("census", "restaurant", "cora", "cddb")
 HETEROGENEOUS_DATASETS = ("movies", "dbpedia", "freebase")
+SYNTHETIC_DATASETS = ("synthetic",)
 
 
 def list_datasets() -> list[str]:
     """Names of all registered datasets (structured first)."""
-    return list(STRUCTURED_DATASETS) + list(HETEROGENEOUS_DATASETS)
+    return (
+        list(STRUCTURED_DATASETS)
+        + list(HETEROGENEOUS_DATASETS)
+        + list(SYNTHETIC_DATASETS)
+    )
 
 
 def load_dataset(name: str, scale: float | None = None, seed: int = 0) -> Dataset:

@@ -49,6 +49,23 @@ from repro.registry import backends
 HAS_NUMPY: bool = importlib.util.find_spec("numpy") is not None
 
 
+#: Valid values for the ``storage=`` seam: ``"ram"`` keeps every array
+#: in process memory (the default); ``"memmap"`` builds and serves the
+#: CSR structures from disk-backed ``np.memmap`` scratch files so the
+#: resident set stays bounded on million-profile workloads (see
+#: :mod:`repro.engine.storage` and docs/scale.md).
+STORAGE_MODES: tuple[str, ...] = ("ram", "memmap")
+
+
+def check_storage_mode(mode: str) -> str:
+    """Validate a ``storage=`` mode, returning it unchanged."""
+    if mode not in STORAGE_MODES:
+        raise ValueError(
+            f"unknown storage mode {mode!r}: expected one of {STORAGE_MODES}"
+        )
+    return mode
+
+
 def require_numpy(feature: str = "the numpy backend") -> None:
     """Raise a clear error when numpy is missing for ``feature``.
 
@@ -90,6 +107,16 @@ class Backend:
     def require(self) -> "Backend":
         """Validate availability (no-op when available); returns self."""
         return self
+
+    def close(self) -> None:
+        """Release per-instance resources (scratch files, worker pools).
+
+        The stock registry backends are stateless shared singletons and
+        this is a no-op for them; *configured* instances (a memmap
+        :class:`NumpyBackend`, a :class:`~repro.parallel.backend.\
+ParallelBackend` with a live pool) override it.  Idempotent.
+        """
+        return None
 
     # -- structure factories (the backend seam) ---------------------------
 
@@ -184,9 +211,27 @@ class PythonBackend(Backend):
 
 
 class NumpyBackend(Backend):
-    """The numpy/CSR backend (requires the ``repro[speed]`` extra)."""
+    """The numpy/CSR backend (requires the ``repro[speed]`` extra).
+
+    ``storage`` selects where the session's CSR arrays live: ``"ram"``
+    (plain ndarrays, the default) or ``"memmap"`` (disk-backed scratch
+    arrays in a private temp directory, removed on :meth:`close` or
+    garbage collection).  Storage is *backend-instance* configuration -
+    it rides on the constructed backend object rather than widening the
+    factory seam, so :data:`repro.contracts.BACKEND_SEAM_ARITY` is
+    unchanged.  The registry's shared ``"numpy"`` singleton always runs
+    ``storage="ram"``; the pipeline builds a private configured instance
+    when ``storage="memmap"`` is requested.
+    """
 
     name = "numpy"
+
+    def __init__(
+        self, storage: str = "ram", storage_dir: "str | None" = None
+    ) -> None:
+        self.storage = check_storage_mode(storage)
+        self.storage_dir = storage_dir
+        self._array_store: Any = None
 
     @property
     def available(self) -> bool:
@@ -200,11 +245,31 @@ class NumpyBackend(Backend):
         require_numpy("backend='numpy'")
         return self
 
+    def array_store(self) -> Any:
+        """The instance's scratch :class:`~repro.engine.storage.ArrayStore`.
+
+        ``None`` in RAM mode - the engine structures treat a missing
+        store as "build plain ndarrays", which keeps the default path
+        byte-for-byte identical to the pre-storage engine.
+        """
+        if self.storage != "memmap":
+            return None
+        if self._array_store is None:
+            from repro.engine.storage import ArrayStore
+
+            self._array_store = ArrayStore(dir=self.storage_dir)
+        return self._array_store
+
+    def close(self) -> None:
+        store, self._array_store = self._array_store, None
+        if store is not None:
+            store.close()
+
     def blocking_substrate(self, store: Any, spec: Any) -> Any:
         self.require()
         from repro.engine.substrate import ArraySubstrate
 
-        return ArraySubstrate(store, spec)
+        return ArraySubstrate(store, spec, storage=self.array_store())
 
     def profile_index(self, collection: Any) -> Any:
         self.require()
@@ -231,13 +296,13 @@ class NumpyBackend(Backend):
         self.require()
         from repro.engine.csr import ArrayPositionIndex
 
-        return ArrayPositionIndex(neighbor_list)
+        return ArrayPositionIndex(neighbor_list, storage=self.array_store())
 
     def blocking_graph(self, index: Any, weighting: str) -> Any:
         self.require()
         from repro.engine.weights import ArrayBlockingGraph
 
-        return ArrayBlockingGraph(index, weighting)
+        return ArrayBlockingGraph(index, weighting, storage=self.array_store())
 
     def pps_core(self, scheduled: Any, weighting: str, k_max: int | None) -> Any:
         self.require()
@@ -312,6 +377,8 @@ def available_backends() -> list[str]:
 
 __all__ = [
     "HAS_NUMPY",
+    "STORAGE_MODES",
+    "check_storage_mode",
     "require_numpy",
     "Backend",
     "PythonBackend",

@@ -27,6 +27,12 @@ require_numpy("repro.engine.csr")
 
 import numpy as np  # noqa: E402  (guarded optional dependency)
 
+from repro.engine.storage import (  # noqa: E402
+    DEFAULT_CHUNK,
+    ArrayStore,
+    stable_group_scatter,
+)
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.blocking.base import BlockCollection
     from repro.neighborlist.neighbor_list import NeighborList
@@ -53,6 +59,53 @@ def multi_arange(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
     # (starts[k-1] + counts[k-1] - 1) to the next range's first.
     deltas[ends[:-1]] = starts[1:] - (starts[:-1] + counts[:-1] - 1)
     return np.cumsum(deltas)
+
+
+def _mass_cuts(sizes: np.ndarray, budget: int) -> list[int]:
+    """Row-range boundaries of ~``budget`` total elements each.
+
+    Each boundary is the first row whose cumulative size reaches the
+    next budget multiple, so a slab exceeds the budget by at most one
+    row's size - rows are never split.
+    """
+    row_count = len(sizes)
+    if row_count == 0:
+        return [0]
+    ends = np.cumsum(sizes)
+    total = int(ends[-1])
+    if total == 0:
+        return [0, row_count]
+    cuts = (
+        np.searchsorted(ends, np.arange(budget, total, budget), side="left")
+        + 1
+    )
+    bounds = np.unique(np.concatenate([cuts, np.asarray([row_count])]))
+    return [0] + bounds.tolist()
+
+
+def gather_rows(
+    values: np.ndarray,
+    starts: np.ndarray,
+    sizes: np.ndarray,
+    storage: ArrayStore | None = None,
+    chunk: int = DEFAULT_CHUNK,
+) -> np.ndarray:
+    """``values[multi_arange(starts, sizes)]``, optionally spilled.
+
+    The CSR row gather used by the substrate's block reordering.  With
+    ``storage``, rows are gathered slab by slab (~``chunk`` elements)
+    into a :class:`~repro.engine.storage.SpillWriter`, so peak resident
+    memory is O(chunk) instead of O(total gathered).
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    sizes = np.asarray(sizes, dtype=np.int64)
+    if storage is None:
+        return values[multi_arange(starts, sizes)]
+    writer = storage.writer(values.dtype)
+    bounds = _mass_cuts(sizes, chunk)
+    for lo, hi in zip(bounds[:-1], bounds[1:]):
+        writer.append(values[multi_arange(starts[lo:hi], sizes[lo:hi])])
+    return writer.finish()
 
 
 class ArrayProfileIndex:
@@ -122,13 +175,16 @@ class ArrayProfileIndex:
         block_cardinalities: np.ndarray,
         block_keys: list[str],
         sources: np.ndarray,
+        storage: ArrayStore | None = None,
     ) -> "ArrayProfileIndex":
         """Build straight from block -> profile CSR arrays.
 
         The array-native substrate's entry point: no ``Block`` objects
         are touched.  ``block_keys`` (one per block, processing order)
         are kept so :attr:`collection` can materialize reference blocks
-        lazily if a consumer asks for them.
+        lazily if a consumer asks for them.  With ``storage``, the
+        profile -> blocks transpose is built out-of-core into memmap
+        arrays (the inputs are expected to be memmap-backed already).
         """
         self = cls.__new__(cls)
         self._collection = None
@@ -138,15 +194,35 @@ class ArrayProfileIndex:
         self.block_cardinalities = np.asarray(block_cardinalities, dtype=np.int64)
         self.bp_indptr = np.asarray(bp_indptr, dtype=np.int64)
         self.bp_indices = np.asarray(bp_indices, dtype=np.int64)
-        self._build_pb()
+        self._build_pb(storage)
         self.sources = np.asarray(sources, dtype=np.int64)
         return self
 
-    def _build_pb(self) -> None:
+    def _build_pb(self, storage: ArrayStore | None = None) -> None:
         # Transpose to the profile -> blocks CSR.  Entries are generated
         # in ascending block-id order, so a stable sort by profile keeps
         # each profile's block list ascending - the property the LeCoBI
         # merge and the weighting accumulation order both rely on.
+        if storage is not None:
+            # Out-of-core: the same stable grouping via counting sort,
+            # with the entry -> block-id map derived chunk by chunk from
+            # the indptr instead of one O(entries) np.repeat.
+            bp_indptr = self.bp_indptr
+
+            def block_of_entry(lo: int, hi: int) -> np.ndarray:
+                positions = np.arange(lo, hi, dtype=np.int64)
+                return (
+                    np.searchsorted(bp_indptr, positions, side="right") - 1
+                )
+
+            self.pb_indptr, (self.pb_indices,) = stable_group_scatter(
+                self.bp_indices,
+                [block_of_entry],
+                self.n_profiles,
+                int(self.bp_indices.size),
+                store=storage,
+            )
+            return
         sizes = np.diff(self.bp_indptr)
         owners = np.repeat(np.arange(len(sizes), dtype=np.int64), sizes)
         order = np.argsort(self.bp_indices, kind="stable")
@@ -247,16 +323,34 @@ class ArrayPositionIndex:
 
     __slots__ = ("neighbor_list", "entries", "n_profiles", "indptr", "positions")
 
-    def __init__(self, neighbor_list: "NeighborList") -> None:
+    def __init__(
+        self,
+        neighbor_list: "NeighborList",
+        storage: ArrayStore | None = None,
+    ) -> None:
         self.neighbor_list = neighbor_list
-        self.entries = np.asarray(neighbor_list.entries, dtype=np.int64)
-        n = int(self.entries.max()) + 1 if self.entries.size else 0
+        entries = np.asarray(neighbor_list.entries, dtype=np.int64)
+        if storage is not None:
+            entries = storage.materialize(entries)
+        self.entries = entries
+        n = int(entries.max()) + 1 if entries.size else 0
         self.n_profiles = n
-        counts = np.bincount(self.entries, minlength=n)
+        if storage is not None:
+            # Out-of-core stable grouping: identical positions array,
+            # built and served from memmap scratch.
+            self.indptr, (self.positions,) = stable_group_scatter(
+                entries,
+                [lambda lo, hi: np.arange(lo, hi, dtype=np.int64)],
+                n,
+                int(entries.size),
+                store=storage,
+            )
+            return
+        counts = np.bincount(entries, minlength=n)
         self.indptr = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(counts, out=self.indptr[1:])
         # Stable sort by profile id keeps positions ascending per profile.
-        self.positions = np.argsort(self.entries, kind="stable")
+        self.positions = np.argsort(entries, kind="stable")
 
     def positions_of(self, profile_id: int) -> np.ndarray:
         """Ascending positions of ``profile_id`` in the Neighbor List."""

@@ -45,7 +45,8 @@ require_numpy("repro.engine.substrate")
 
 import numpy as np  # noqa: E402  (guarded optional dependency)
 
-from repro.engine.csr import ArrayProfileIndex, multi_arange  # noqa: E402
+from repro.engine.csr import ArrayProfileIndex, gather_rows  # noqa: E402
+from repro.engine.storage import ArrayStore, stable_group_scatter  # noqa: E402
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.blocking.base import BlockCollection
@@ -64,9 +65,25 @@ class ArraySubstrate:
     #: directly from the postings.
     vectorized = True
 
-    def __init__(self, store: ProfileStore, spec: SubstrateSpec) -> None:
+    #: Profiles tokenized per spill flush when storage is active - large
+    #: enough to amortize array conversion, small enough that the
+    #: resident token-id buffers stay in the tens of megabytes.
+    TOKENIZE_FLUSH_PROFILES = 65536
+
+    def __init__(
+        self,
+        store: ProfileStore,
+        spec: SubstrateSpec,
+        storage: ArrayStore | None = None,
+    ) -> None:
         self.store = store
         self.spec = spec
+        #: Scratch ArrayStore of the owning backend instance; ``None``
+        #: keeps the original all-RAM behavior byte for byte.  With a
+        #: store, the sweep's pair arrays, the postings and the final
+        #: blocks are built into (and served from) memmap scratch, and
+        #: the grouping sorts run out-of-core.
+        self.storage = storage
         self.sweeps = 0
         # (token_id, profile_id) pair arrays of the single sweep.
         self._token_names: list[str] | None = None
@@ -95,18 +112,45 @@ class ArraySubstrate:
         :func:`repro.core.tokenization.token_stream`.
         """
         tokenizer = self.spec.tokenizer
+        storage = self.storage
+        token_writer = (
+            storage.writer(np.int64) if storage is not None else None
+        )
+        profile_writer = (
+            storage.writer(np.int64) if storage is not None else None
+        )
         intern: dict[str, int] = {}
         setdefault = intern.setdefault
         token_ids: list[int] = []
         append = token_ids.append
         profile_ids: list[int] = []
         counts: list[int] = []
+        flush_every = self.TOKENIZE_FLUSH_PROFILES
+
+        def flush() -> None:
+            assert token_writer is not None and profile_writer is not None
+            token_writer.append(np.asarray(token_ids, dtype=np.int64))
+            profile_writer.append(
+                np.repeat(
+                    np.asarray(profile_ids, dtype=np.int64),
+                    np.asarray(counts, dtype=np.int64),
+                )
+            )
+            token_ids.clear()
+            profile_ids.clear()
+            counts.clear()
+
         for profile in self.store:
             tokens = tokenizer.distinct_profile_tokens(profile)
             profile_ids.append(profile.profile_id)
             counts.append(len(tokens))
             for token in tokens:
                 append(setdefault(token, len(intern)))
+            if token_writer is not None and len(profile_ids) >= flush_every:
+                flush()
+        if token_writer is not None and profile_writer is not None:
+            flush()
+            return list(intern), token_writer.finish(), profile_writer.finish()
         pair_tokens = np.asarray(token_ids, dtype=np.int64)
         pair_profiles = np.repeat(
             np.asarray(profile_ids, dtype=np.int64),
@@ -157,6 +201,24 @@ class ArraySubstrate:
             rank[np.asarray(alpha_order, dtype=np.int64)] = np.arange(
                 token_count, dtype=np.int64
             )
+            if self.storage is not None:
+                # Spill-to-disk postings argsort: the stable grouping
+                # runs as an out-of-core counting sort over chunk-wise
+                # derived ranks - bit-identical to the argsort below.
+                pair_tokens = self._pair_tokens
+
+                def rank_chunk(lo: int, hi: int) -> np.ndarray:
+                    return rank[np.asarray(pair_tokens[lo:hi])]
+
+                indptr, (profiles,) = stable_group_scatter(
+                    rank_chunk,
+                    [self._pair_profiles],
+                    token_count,
+                    int(self._pair_tokens.size),
+                    store=self.storage,
+                )
+                self._postings = (indptr, profiles, keys)
+                return self._postings
             pair_rank = rank[self._pair_tokens]
             order = np.argsort(pair_rank, kind="stable")
             profiles = self._pair_profiles[order]
@@ -203,7 +265,9 @@ class ArraySubstrate:
 
             keep_idx = np.nonzero(valid)[0]
             b_sizes = sizes[keep_idx]
-            b_profiles = profiles[multi_arange(indptr[keep_idx], b_sizes)]
+            b_profiles = gather_rows(
+                profiles, indptr[keep_idx], b_sizes, self.storage
+            )
             b_keys = [keys[i] for i in keep_idx.tolist()]
             b_left = left[keep_idx] if left is not None else None
 
@@ -211,6 +275,11 @@ class ArraySubstrate:
                 b_profiles, b_keys, b_sizes, b_left = self._filter(
                     b_profiles, b_keys, b_sizes, b_left
                 )
+                if self.storage is not None:
+                    # The filter's masked rebuild produced a RAM array;
+                    # the final blocks are session-lived, so park them
+                    # back on disk.
+                    b_profiles = self.storage.materialize(b_profiles)
 
             if b_left is not None:
                 cardinalities = b_left * (b_sizes - b_left)
@@ -310,7 +379,9 @@ class ArraySubstrate:
             sizes = np.diff(indptr)[perm]
             ordered_indptr = np.zeros(len(perm) + 1, dtype=np.int64)
             np.cumsum(sizes, out=ordered_indptr[1:])
-            ordered_profiles = profiles[multi_arange(indptr[:-1][perm], sizes)]
+            ordered_profiles = gather_rows(
+                profiles, indptr[:-1][perm], sizes, self.storage
+            )
             ordered_keys = [keys[i] for i in perm.tolist()]
             index = ArrayProfileIndex.from_csr(
                 self.store,
@@ -319,6 +390,7 @@ class ArraySubstrate:
                 cardinalities[perm],
                 ordered_keys,
                 self._sources(),
+                storage=self.storage,
             )
             self._indexes[order] = index
         return index

@@ -34,7 +34,8 @@ from __future__ import annotations
 import math
 
 from repro.engine import require_numpy
-from repro.engine.csr import ArrayProfileIndex, multi_arange
+from repro.engine.csr import ArrayProfileIndex, _mass_cuts, multi_arange
+from repro.engine.storage import DEFAULT_CHUNK, ArrayStore
 from repro.registry import weighting_schemes
 
 require_numpy("repro.engine.weights")
@@ -245,6 +246,7 @@ class ArrayBlockingGraph:
     __slots__ = (
         "index",
         "scheme",
+        "storage",
         "indptr",
         "neighbors",
         "raw",
@@ -254,8 +256,15 @@ class ArrayBlockingGraph:
         "_edge_weights",
     )
 
+    #: Co-occurrence events expanded per range in the spilled build; caps
+    #: the transient expansion arrays at a few tens of MB regardless of n.
+    EVENT_BUDGET = 1 << 21
+
     def __init__(
-        self, index: ArrayProfileIndex, scheme: ArrayWeighting | str
+        self,
+        index: ArrayProfileIndex,
+        scheme: ArrayWeighting | str,
+        storage: ArrayStore | None = None,
     ) -> None:
         self.index = index
         self.scheme = (
@@ -263,7 +272,11 @@ class ArrayBlockingGraph:
             if isinstance(scheme, str)
             else scheme
         )
-        self._build_rows()
+        self.storage = storage
+        if storage is None:
+            self._build_rows()
+        else:
+            self._build_rows_spilled(storage)
         self.scheme.prepare(self)
         self._finalize_rows()
         self._edge_keys: np.ndarray | None = None
@@ -278,6 +291,7 @@ class ArrayBlockingGraph:
         neighbors: np.ndarray,
         raw: np.ndarray,
         first_event_index: np.ndarray,
+        storage: ArrayStore | None = None,
     ) -> "ArrayBlockingGraph":
         """Assemble a graph whose raw rows were built elsewhere.
 
@@ -285,13 +299,16 @@ class ArrayBlockingGraph:
         workers produce contiguous row ranges that concatenate into
         exactly the arrays :meth:`_build_rows` would have produced, and
         preparation/finalization - which need the *whole* graph (EJS
-        degrees) - run here as usual.
+        degrees) - run here as usual.  ``storage`` marks row arrays that
+        already live in an :class:`ArrayStore`, so finalization runs
+        chunked and allocates its weights there too.
         """
         graph = cls.__new__(cls)
         graph.index = index
         graph.scheme = (
             make_array_scheme(scheme, index) if isinstance(scheme, str) else scheme
         )
+        graph.storage = storage
         graph.indptr = indptr
         graph.neighbors = neighbors
         graph.raw = raw
@@ -376,7 +393,86 @@ class ArrayBlockingGraph:
         np.cumsum(row_lengths, out=self.indptr[1:])
         self.first_event_index = first_index
 
+    def _build_rows_spilled(self, storage: ArrayStore) -> None:
+        """Bounded-RAM row build: sequential owner ranges spilled to disk.
+
+        The same restriction argument that makes the sharded build exact
+        (:mod:`repro.parallel.graph`) makes this one exact: owner ranges
+        own contiguous slices of the global event stream, each edge's
+        contributions accumulate inside one range in stream order, and
+        per-range first-encounter indexes globalize by adding the
+        preceding ranges' valid-event counts.  Here the ranges run
+        sequentially - sized so the per-range expansion stays a few tens
+        of MB - and the merged rows land in memmaps instead of RAM.
+        """
+        from repro.core.profiles import ERType
+
+        # Engine -> parallel is normally an inverted dependency; the task
+        # module is deliberately engine-only (kernels + numpy), and a
+        # lazy import keeps the layering violation out of import time.
+        from repro.parallel.tasks import graph_rows_task
+
+        index = self.index
+        n = index.n_profiles
+        payload = {
+            "n": n,
+            "clean_clean": index.store.er_type is ERType.CLEAN_CLEAN,
+            "sources": index.sources,
+            "pb_indptr": index.pb_indptr,
+            "pb_indices": index.pb_indices,
+            "bp_indptr": index.bp_indptr,
+            "bp_indices": index.bp_indices,
+            "contributions": self.scheme.block_contributions(),
+        }
+
+        # Cut owner ranges by event mass: each (owner, block) incidence
+        # expands into that block's size worth of co-occurrence events.
+        block_sizes = np.diff(payload["bp_indptr"])
+        incidence_events = block_sizes[np.asarray(index.pb_indices)]
+        cumulative = np.zeros(incidence_events.size + 1, dtype=np.int64)
+        np.cumsum(incidence_events, out=cumulative[1:])
+        owner_mass = cumulative[index.pb_indptr[1:]] - cumulative[index.pb_indptr[:-1]]
+        cuts = _mass_cuts(owner_mass, self.EVENT_BUDGET)
+
+        neighbor_writer = storage.writer(np.int64)
+        raw_writer = storage.writer(np.float64)
+        first_writer = storage.writer(np.int64)
+        row_lengths = np.zeros(n, dtype=np.int64)
+        offset = 0
+        lo = 0
+        for hi in cuts:
+            result = graph_rows_task(payload, (lo, hi))
+            row_lengths[lo:hi] = result["row_lengths"]
+            neighbor_writer.append(result["neighbors"])
+            raw_writer.append(result["raw"])
+            first_writer.append(result["first"] + offset)
+            offset += result["valid_count"]
+            lo = hi
+
+        self.indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(row_lengths, out=self.indptr[1:])
+        self.neighbors = neighbor_writer.finish()
+        self.raw = raw_writer.finish()
+        self.first_event_index = first_writer.finish()
+
     def _finalize_rows(self) -> None:
+        if self.storage is not None:
+            edge_count = int(self.indptr[-1])
+            self.weights = self.storage.empty((edge_count,), np.float64)
+            for lo in range(0, edge_count, DEFAULT_CHUNK):
+                hi = min(lo + DEFAULT_CHUNK, edge_count)
+                owners = (
+                    np.searchsorted(
+                        self.indptr, np.arange(lo, hi, dtype=np.int64), side="right"
+                    )
+                    - 1
+                )
+                self.weights[lo:hi] = self.scheme.finalize_all(
+                    owners,
+                    np.asarray(self.neighbors[lo:hi]),
+                    np.asarray(self.raw[lo:hi]),
+                )
+            return
         owners = np.repeat(
             np.arange(self.index.n_profiles, dtype=np.int64),
             np.diff(self.indptr),

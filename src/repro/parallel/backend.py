@@ -45,6 +45,10 @@ class ParallelBackend(NumpyBackend):
         Payload transport: ``"pickle"`` (default) or ``"memmap"``
         (arrays shared through the page cache; see
         :mod:`repro.parallel.pool`).
+    storage, storage_dir:
+        As :class:`~repro.engine.NumpyBackend`: ``storage="memmap"``
+        serves the merged CSR structures from disk-backed scratch
+        arrays instead of RAM.
     """
 
     name = "numpy-parallel"
@@ -54,7 +58,10 @@ class ParallelBackend(NumpyBackend):
         workers: int | None = None,
         shards: int | None = None,
         ship: str = "pickle",
+        storage: str = "ram",
+        storage_dir: str | None = None,
     ) -> None:
+        super().__init__(storage=storage, storage_dir=storage_dir)
         if workers is None:
             from repro.parallel.pool import default_worker_count
 
@@ -88,11 +95,13 @@ class ParallelBackend(NumpyBackend):
         return self._pool
 
     def close(self) -> None:
-        """Tear down the pool now (it also dies with the backend)."""
+        """Tear down the pool and scratch store (both also die with
+        the backend)."""
         if self._pool is not None:
             self._pool.close()
             self._pool = None
         self._payloads.clear()
+        super().close()
 
     def _payload_for(self, index: Any, scheme: Any) -> dict[str, Any]:
         """One shared worker payload per (index, scheme) pair.
@@ -126,7 +135,11 @@ class ParallelBackend(NumpyBackend):
         from repro.parallel.substrate import ShardedSubstrate
 
         return ShardedSubstrate(
-            store, spec, shards=self.shards, pool=self.pool()
+            store,
+            spec,
+            shards=self.shards,
+            pool=self.pool(),
+            storage=self.array_store(),
         )
 
     def blocking_graph(self, index: Any, weighting: str) -> Any:
@@ -141,6 +154,7 @@ class ParallelBackend(NumpyBackend):
             shards=self.shards,
             pool=self.pool(),
             payload=self._payload_for(index, scheme),
+            storage=self.array_store(),
         )
 
     def pps_core(self, scheduled: Any, weighting: str, k_max: int | None) -> Any:

@@ -77,13 +77,17 @@ def sharded_blocking_graph(
     pool: WorkerPool,
     plan: ShardPlan | None = None,
     payload: dict[str, Any] | None = None,
+    storage: Any = None,
 ) -> ArrayBlockingGraph:
     """Build an :class:`ArrayBlockingGraph` from per-shard row builds.
 
     ``plan`` defaults to contiguous profile ranges balanced by postings
     mass read off the profile->blocks CSR ``indptr`` - the cost proxy
     for a neighborhood's scoring work.  The result is bit-identical to
-    ``ArrayBlockingGraph(index, weighting)``.
+    ``ArrayBlockingGraph(index, weighting)``.  ``storage`` (an
+    :class:`~repro.engine.storage.ArrayStore`) spills the merged row
+    arrays to memmaps as the shard results stream in, so the parent
+    never holds the whole edge set in RAM.
     """
     scheme = (
         make_array_scheme(weighting, index)
@@ -103,10 +107,30 @@ def sharded_blocking_graph(
     indptr = np.zeros(n + 1, dtype=np.int64)
     np.cumsum(row_lengths, out=indptr[1:])
 
-    neighbors = np.concatenate([result["neighbors"] for result in results])
-    raw = np.concatenate([result["raw"] for result in results])
     # Local first-encounter indexes -> global: shift each shard by the
     # valid-event mass of everything before it.
+    if storage is not None:
+        neighbor_writer = storage.writer(np.int64)
+        raw_writer = storage.writer(np.float64)
+        first_writer = storage.writer(np.int64)
+        offset = 0
+        for result in results:
+            neighbor_writer.append(result["neighbors"])
+            raw_writer.append(result["raw"])
+            first_writer.append(result["first"] + offset)
+            offset += result["valid_count"]
+        return ArrayBlockingGraph.from_rows(
+            index,
+            scheme,
+            indptr,
+            neighbor_writer.finish(),
+            raw_writer.finish(),
+            first_writer.finish(),
+            storage=storage,
+        )
+
+    neighbors = np.concatenate([result["neighbors"] for result in results])
+    raw = np.concatenate([result["raw"] for result in results])
     offset = 0
     shifted = []
     for result in results:

@@ -199,9 +199,16 @@ class WorkerPool:
         if not self.parallel or len(shard_args) <= 1:
             return [task(payload, arg) for arg in shard_args]
         pool = self._ensure_pool(payload)
-        return pool.map(
-            _worker_run, [(task, arg) for arg in shard_args], chunksize=1
-        )
+        try:
+            return pool.map(
+                _worker_run, [(task, arg) for arg in shard_args], chunksize=1
+            )
+        except BaseException:
+            # A worker crash (or parent interrupt) leaves the pool - and
+            # any memmap-shipped payload files - unusable; tear both down
+            # now instead of waiting for garbage collection.
+            self.close()
+            raise
 
     def run_transient(
         self,
@@ -224,11 +231,15 @@ class WorkerPool:
             if self._pool is not None
             else self._ensure_pool(_NO_PAYLOAD)
         )
-        return pool.map(
-            _worker_run_transient,
-            [(task, arg) for arg in shard_args],
-            chunksize=1,
-        )
+        try:
+            return pool.map(
+                _worker_run_transient,
+                [(task, arg) for arg in shard_args],
+                chunksize=1,
+            )
+        except BaseException:
+            self.close()
+            raise
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "live" if self._pool is not None else "idle"

@@ -79,6 +79,10 @@ class ShardedSubstrate(ArraySubstrate):
     pool:
         The backend's :class:`~repro.parallel.pool.WorkerPool`; ``None``
         runs the shard task inline per range (the same code path).
+    storage:
+        Optional :class:`~repro.engine.storage.ArrayStore`; when given,
+        the merged pair arrays (and every inherited structure) spill to
+        memmaps exactly as in the sequential substrate.
     """
 
     def __init__(
@@ -88,8 +92,9 @@ class ShardedSubstrate(ArraySubstrate):
         *,
         shards: int = 1,
         pool: Any = None,
+        storage: Any = None,
     ) -> None:
-        super().__init__(store, spec)
+        super().__init__(store, spec, storage=storage)
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
         self.shards = shards
@@ -108,20 +113,31 @@ class ShardedSubstrate(ArraySubstrate):
 
         # Merge: shard vocabularies fold into the global intern map in
         # shard order; local ids remap through one gather per shard.
+        # With storage, remapped shard chunks spill straight to disk.
         intern: dict[str, int] = {}
         setdefault = intern.setdefault
         token_chunks: list[np.ndarray] = []
         profile_chunks: list[np.ndarray] = []
+        token_writer = None if self.storage is None else self.storage.writer(np.int64)
+        profile_writer = (
+            None if self.storage is None else self.storage.writer(np.int64)
+        )
         for (names, local_tokens, counts), (lo, hi) in zip(results, ranges):
             mapping = np.fromiter(
                 (setdefault(name, len(intern)) for name in names),
                 dtype=np.int64,
                 count=len(names),
             )
-            token_chunks.append(mapping[local_tokens])
-            profile_chunks.append(
-                np.repeat(np.arange(lo, hi, dtype=np.int64), counts)
-            )
+            tokens = mapping[local_tokens]
+            profiles = np.repeat(np.arange(lo, hi, dtype=np.int64), counts)
+            if token_writer is not None and profile_writer is not None:
+                token_writer.append(tokens)
+                profile_writer.append(profiles)
+            else:
+                token_chunks.append(tokens)
+                profile_chunks.append(profiles)
+        if token_writer is not None and profile_writer is not None:
+            return list(intern), token_writer.finish(), profile_writer.finish()
         if token_chunks:
             pair_tokens = np.concatenate(token_chunks)
             pair_profiles = np.concatenate(profile_chunks)

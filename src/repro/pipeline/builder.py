@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import dataclasses
 from collections.abc import Iterable, Mapping
-from typing import Any, Callable, TypeVar
+from typing import TYPE_CHECKING, Any, Callable, TypeVar
 
 from repro.core.ground_truth import GroundTruth
 from repro.core.profiles import ProfileStore
@@ -36,8 +36,12 @@ from repro.pipeline.config import (
     MethodConfig,
     ParallelConfig,
     PipelineConfig,
+    StorageConfig,
 )
 from repro.pipeline.resolver import Resolver
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.datasets.base import ChunkedProfileStore
 
 
 def _ratio(flag: bool | float | None, default: float) -> float | None:
@@ -244,6 +248,37 @@ class ERPipeline:
         self._config.backend = "numpy-parallel"
         return self
 
+    def storage(
+        self,
+        mode: str = "memmap",
+        *,
+        dir: str | None = None,
+        enabled: bool = True,
+    ) -> "ERPipeline":
+        """Serve the session's CSR structures from disk-backed arrays.
+
+        ``mode="memmap"`` makes the numpy backends build and serve every
+        index structure from ``np.memmap`` scratch files in a private
+        temp directory (``dir`` overrides its parent), with the builds
+        running in bounded-RAM chunks - the identical comparison stream,
+        sized by disk instead of RAM.  ``mode="ram"`` (or
+        ``enabled=False``) removes the stage.  The python reference
+        backend ignores it.
+
+        >>> from repro import ERPipeline
+        >>> spec = ERPipeline().backend("numpy").storage("memmap").to_dict()
+        >>> spec["storage"]
+        {'mode': 'memmap', 'dir': None}
+        """
+        if not enabled or mode == "ram":
+            from repro.engine import check_storage_mode
+
+            check_storage_mode(mode)
+            self._config.storage = None
+            return self
+        self._config.storage = StorageConfig(mode=mode, dir=dir)
+        return self
+
     def incremental(
         self,
         enabled: bool = True,
@@ -392,14 +427,24 @@ def _snapshot(config: PipelineConfig) -> PipelineConfig:
             if config.parallel is None
             else dataclasses.replace(config.parallel)
         ),
+        storage=(
+            None
+            if config.storage is None
+            else dataclasses.replace(config.storage)
+        ),
     )
 
 
 def _coerce_data(
     data: Any, ground_truth: GroundTruth | None
-) -> tuple[ProfileStore, GroundTruth | None, str, Callable[..., Any] | None]:
+) -> tuple[
+    "ProfileStore | ChunkedProfileStore",
+    GroundTruth | None,
+    str,
+    Callable[..., Any] | None,
+]:
     """Normalize ``fit``'s accepted inputs to (store, truth, name, psn_key)."""
-    from repro.datasets.base import Dataset
+    from repro.datasets.base import ChunkedProfileStore, Dataset
     from repro.datasets.registry import load_dataset
 
     if isinstance(data, str):
@@ -408,6 +453,10 @@ def _coerce_data(
         truth = ground_truth if ground_truth is not None else data.ground_truth
         return data.store, truth, data.name, data.psn_key
     if isinstance(data, ProfileStore):
+        return data, ground_truth, "", None
+    if isinstance(data, ChunkedProfileStore):
+        # A streamed store passes straight through: it speaks the
+        # ProfileStore protocol, just chunk-cached instead of resident.
         return data, ground_truth, "", None
     if isinstance(data, Mapping):
         raise TypeError(

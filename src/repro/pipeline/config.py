@@ -275,6 +275,38 @@ class ParallelConfig:
 
 
 @dataclass
+class StorageConfig:
+    """Optional stage: serve the CSR index structures from disk.
+
+    ``mode="memmap"`` makes the numpy backends allocate every session
+    structure (postings, profile/position indexes, the Blocking Graph)
+    as ``np.memmap`` scratch arrays in a private temp directory instead
+    of RAM, with the builds themselves running in bounded-RAM chunks -
+    the same bit-identical streams, sized by disk instead of memory
+    (see docs/scale.md).  ``dir`` overrides where the scratch directory
+    is created (default: the system temp dir).  The python reference
+    backend has no array structures and ignores the stage.
+
+    The scratch directory lives as long as the resolver session; close
+    it deterministically with :meth:`~repro.pipeline.resolver.Resolver.close`
+    (or a ``with`` block), otherwise garbage collection removes it.
+    """
+
+    mode: str = "memmap"
+    dir: str | None = None
+
+    def __post_init__(self) -> None:
+        from repro.engine import check_storage_mode
+
+        check_storage_mode(self.mode)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "StorageConfig":
+        _reject_unknown_keys("storage", data, ("mode", "dir"))
+        return cls(**dict(data))
+
+
+@dataclass
 class PipelineConfig:
     """The full pipeline spec: one dataclass per stage, dict round-trip.
 
@@ -295,6 +327,7 @@ class PipelineConfig:
     backend: str = "python"
     incremental: IncrementalConfig | None = None
     parallel: ParallelConfig | None = None
+    storage: StorageConfig | None = None
 
     def __post_init__(self) -> None:
         self.backend = backends.canonical(self.backend)
@@ -320,6 +353,9 @@ class PipelineConfig:
             "parallel": (
                 None if self.parallel is None else asdict(self.parallel)
             ),
+            "storage": (
+                None if self.storage is None else asdict(self.storage)
+            ),
         }
 
     @classmethod
@@ -336,11 +372,13 @@ class PipelineConfig:
                 "backend",
                 "incremental",
                 "parallel",
+                "storage",
             ),
         )
         matcher = data.get("matcher")
         incremental = data.get("incremental")
         parallel = data.get("parallel")
+        storage = data.get("storage")
         return cls(
             blocking=BlockingConfig.from_dict(data.get("blocking", {})),
             meta=MetaBlockingConfig.from_dict(data.get("meta", {})),
@@ -355,5 +393,8 @@ class PipelineConfig:
             ),
             parallel=(
                 None if parallel is None else ParallelConfig.from_dict(parallel)
+            ),
+            storage=(
+                None if storage is None else StorageConfig.from_dict(storage)
             ),
         )

@@ -59,6 +59,8 @@ def resolve(
     backend: str | None = None,
     workers: int | None = None,
     shards: int | None = None,
+    storage: str | None = None,
+    storage_dir: str | None = None,
     ground_truth: GroundTruth | None = None,
     **method_params: Any,
 ) -> ResolutionResult:
@@ -97,6 +99,13 @@ def resolve(
         :meth:`ERPipeline.parallel`); passing either implies
         ``backend="numpy-parallel"``.  ``workers=0`` runs the shard
         code inline - same stream, no processes.
+    storage, storage_dir:
+        ``storage="memmap"`` serves the numpy backends' CSR structures
+        from disk-backed scratch arrays in ``storage_dir`` (default:
+        the system temp dir) - the identical stream under a bounded RAM
+        footprint (see :meth:`ERPipeline.storage` and docs/scale.md).
+        Close the returned ``result.resolver`` to reclaim the scratch
+        space deterministically.
     method_params:
         Forwarded to the method constructor (e.g. ``k_max=20``).
 
@@ -146,6 +155,12 @@ def resolve(
         or pipeline.config.backend == "numpy-parallel"
     ):
         pipeline.parallel(workers, shards)
+    if storage is not None:
+        pipeline.storage(storage, dir=storage_dir)
+    elif storage_dir is not None:
+        raise ValueError(
+            "storage_dir given without a storage mode; pass storage='memmap'"
+        )
     if matcher is not None:
         pipeline.matcher(matcher, **(matcher_params or {}))
     elif matcher_params:

@@ -30,6 +30,7 @@ from repro.progressive.base import ProgressiveMethod
 from repro.registry import matchers, normalize, progressive_methods
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.datasets.base import ChunkedProfileStore
     from repro.pipeline.config import PipelineConfig
 
 # An oracle hook: pair -> is-match decision, used for recall bookkeeping
@@ -106,7 +107,7 @@ class Resolver:
     def __init__(
         self,
         config: "PipelineConfig",
-        store: ProfileStore,
+        store: "ProfileStore | ChunkedProfileStore",
         ground_truth: GroundTruth | None = None,
         dataset_name: str = "",
         psn_key: Callable[..., Any] | None = None,
@@ -126,7 +127,7 @@ class Resolver:
         self._blocks: BlockCollection | None = None
         self._substrate: "object | None" = None
         self._pruned: list[Comparison] | None = None
-        self._parallel_backend: "object | None" = None
+        self._backend_instance: "object | None" = None
         self.method: ProgressiveMethod | None = None
         self.matcher: MatchFunction | None = None
         self._emitter: Iterator[Comparison] | None = None
@@ -142,27 +143,76 @@ class Resolver:
     def _method_wants_blocks(self) -> bool:
         return progressive_methods.accepts(self.config.method.name, "blocks")
 
+    def _storage_kwargs(self) -> "dict[str, Any]":
+        """Constructor kwargs carrying the spec's storage stage, if any."""
+        storage = self.config.storage
+        if storage is None or storage.mode == "ram":
+            return {}
+        return {"storage": storage.mode, "storage_dir": storage.dir}
+
     def _method_backend(self) -> "str | object":
-        """What to hand a method's ``backend=``: the spec's name, or -
-        for a configured parallel stage - a live
+        """What to hand a method's ``backend=``: the spec's name, or - for
+        a configured parallel and/or storage stage - a live
+        :class:`~repro.engine.NumpyBackend` /
         :class:`~repro.parallel.backend.ParallelBackend` carrying the
-        ``workers``/``shards``/``ship`` knobs (methods accept backend
-        instances as well as registry names).
+        ``workers``/``shards``/``ship``/``storage`` knobs (methods accept
+        backend instances as well as registry names).
 
         The instance is built once per session and cached, so every
         consumer - method builds, reset rebuilds, graph pruning - shares
-        one backend and therefore one worker pool and shipped payload.
+        one backend and therefore one worker pool, shipped payload and
+        scratch store.  Registry singletons are never configured or
+        closed; only session-built instances are.  The python reference
+        backend has no array structures, so a storage stage leaves it
+        untouched (same stream either way).
         """
+        if self._backend_instance is not None:
+            return self._backend_instance
         spec = self.config.parallel
-        if spec is None or self.config.backend != "numpy-parallel":
-            return self.config.backend
-        if self._parallel_backend is None:
+        storage_kwargs = self._storage_kwargs()
+        if self.config.backend == "numpy-parallel" and (
+            spec is not None or storage_kwargs
+        ):
             from repro.parallel.backend import ParallelBackend
 
-            self._parallel_backend = ParallelBackend(
-                workers=spec.workers, shards=spec.shards, ship=spec.ship
+            knobs = (
+                {}
+                if spec is None
+                else {
+                    "workers": spec.workers,
+                    "shards": spec.shards,
+                    "ship": spec.ship,
+                }
             )
-        return self._parallel_backend
+            self._backend_instance = ParallelBackend(**knobs, **storage_kwargs)
+            return self._backend_instance
+        if self.config.backend == "numpy" and storage_kwargs:
+            from repro.engine import NumpyBackend
+
+            self._backend_instance = NumpyBackend(**storage_kwargs)
+            return self._backend_instance
+        return self.config.backend
+
+    def close(self) -> None:
+        """Release the session's runtime resources now (idempotent).
+
+        Tears down the session-built backend instance, if any: its
+        worker pool and its ``storage="memmap"`` scratch directory.
+        Garbage collection does the same eventually; ``close`` (or using
+        the resolver as a context manager) makes it deterministic.
+        Structures already handed out against a memmap store become
+        invalid.  Registry-singleton backends are never touched.
+        """
+        backend, self._backend_instance = self._backend_instance, None
+        if backend is not None:
+            backend.close()  # type: ignore[attr-defined]
+        self._substrate = None
+
+    def __enter__(self) -> "Resolver":
+        return self
+
+    def __exit__(self, *exc_info: "Any") -> None:
+        self.close()
 
     def _substrate_spec(self) -> "Any | None":
         """The shared-substrate spec of this session's blocking stage.

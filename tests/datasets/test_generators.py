@@ -8,6 +8,7 @@ from repro.core.profiles import ERType
 from repro.datasets.registry import (
     HETEROGENEOUS_DATASETS,
     STRUCTURED_DATASETS,
+    SYNTHETIC_DATASETS,
     list_datasets,
     load_dataset,
 )
@@ -20,20 +21,21 @@ SMALL_SCALES = {
     "movies": 0.01,
     "dbpedia": 0.0003,
     "freebase": 0.0002,
+    "synthetic": 0.0005,
 }
 
 
 class TestRegistry:
-    def test_all_seven_datasets(self):
+    def test_all_registered_datasets(self):
         assert list_datasets() == [
             # fmt: off
             "census", "restaurant", "cora", "cddb",
-            "movies", "dbpedia", "freebase",
+            "movies", "dbpedia", "freebase", "synthetic",
             # fmt: on
         ]
-        assert set(STRUCTURED_DATASETS) | set(HETEROGENEOUS_DATASETS) == set(
-            list_datasets()
-        )
+        assert set(STRUCTURED_DATASETS) | set(HETEROGENEOUS_DATASETS) | set(
+            SYNTHETIC_DATASETS
+        ) == set(list_datasets())
 
     def test_unknown_dataset(self):
         with pytest.raises(ValueError, match="unknown dataset"):

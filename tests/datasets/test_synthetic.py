@@ -1,0 +1,167 @@
+"""Seeded-determinism and structure properties of the synthetic workload.
+
+The scale harness (benchmarks/bench_scale.py, the storage parity matrix)
+leans on three generator guarantees: byte-identical streams per seed -
+independent of chunk size - disjoint streams across seeds, and exact
+O(matches) ground truth.  These tests pin all three at small scale.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.profiles import ERType
+from repro.datasets.base import ChunkedProfileStore
+from repro.datasets.registry import load_dataset
+from repro.datasets.synthetic import (
+    SyntheticSource,
+    generate_synthetic,
+    zipf_rank,
+)
+
+
+def stream(dataset):
+    """The full profile stream as comparable (id, pairs, source) rows."""
+    return [(p.profile_id, tuple(p.pairs), p.source) for p in dataset.store]
+
+
+class TestSeededDeterminism:
+    def test_same_seed_is_byte_identical(self):
+        a = generate_synthetic(n_profiles=600, seed=11)
+        b = generate_synthetic(n_profiles=600, seed=11)
+        assert stream(a) == stream(b)
+        assert a.ground_truth.pairs == b.ground_truth.pairs
+
+    @pytest.mark.parametrize("chunk_size", [1, 13, 100, 8192])
+    def test_stream_invariant_under_chunk_size(self, chunk_size):
+        base = generate_synthetic(n_profiles=500, seed=5)
+        chunked = generate_synthetic(n_profiles=500, seed=5, chunk_size=chunk_size)
+        assert stream(base) == stream(chunked)
+        assert base.ground_truth.pairs == chunked.ground_truth.pairs
+
+    def test_different_seeds_are_disjoint_streams(self):
+        a = stream(generate_synthetic(n_profiles=400, seed=0))
+        b = stream(generate_synthetic(n_profiles=400, seed=1))
+        equal_positions = sum(x == y for x, y in zip(a, b))
+        assert equal_positions == 0
+
+    def test_random_access_matches_iteration(self):
+        dataset = generate_synthetic(n_profiles=300, seed=2, chunk_size=64)
+        iterated = list(dataset.store)
+        for i in (0, 63, 64, 123, 299):
+            assert dataset.store[i].pairs == iterated[i].pairs
+
+    def test_source_pickles_without_chunk_cache(self):
+        store = generate_synthetic(n_profiles=200, seed=3).store
+        _ = store[150]  # populate the cache slot
+        clone = pickle.loads(pickle.dumps(store))
+        assert [p.pairs for p in clone] == [p.pairs for p in store]
+
+
+class TestGroundTruthStructure:
+    def test_dirty_clusters_have_expected_shape_and_rate(self):
+        n, rate = 1500, 0.2
+        dataset = generate_synthetic(n_profiles=n, seed=7, duplicate_rate=rate)
+        clusters = dataset.ground_truth.clusters
+        sizes = sorted(len(c) for c in clusters)
+        assert set(sizes) == {2, 3}
+        in_clusters = sum(sizes)
+        assert in_clusters == pytest.approx(rate * n, abs=15)
+
+    def test_truth_pairs_share_the_code_block(self):
+        """Every duplicate pair co-occurs on its (possibly corrupted)
+        code attribute often enough to anchor recall; with corruption
+        off, codes match exactly."""
+        dataset = generate_synthetic(n_profiles=400, seed=9, corruption=0.0)
+        profiles = list(dataset.store)
+        for i, j in dataset.ground_truth:
+            code_i = dict(profiles[i].pairs)["code"]
+            code_j = dict(profiles[j].pairs)["code"]
+            assert code_i == code_j
+
+    def test_clean_clean_matches_cross_the_boundary(self):
+        dataset = generate_synthetic(
+            n_profiles=601, seed=4, er_type="clean-clean"
+        )
+        store = dataset.store
+        assert store.er_type is ERType.CLEAN_CLEAN
+        assert len(dataset.ground_truth) > 0
+        for i, j in dataset.ground_truth:
+            assert store.source_of(i) != store.source_of(j)
+            assert store.valid_comparison(i, j)
+
+    def test_match_count_agrees_with_enumeration(self):
+        for er_type in ("dirty", "clean-clean"):
+            source = SyntheticSource(
+                n_profiles=900,
+                seed=1,
+                duplicate_rate=0.3,
+                corruption=0.1,
+                zipf_exponent=0.5,
+                vocab_size=1800,
+                er_type=ERType(er_type),
+            )
+            assert source.match_count() == len(source.ground_truth())
+
+    def test_cluster_spanning_chunk_boundary_is_intact(self):
+        """A duplicate cluster whose members fall in different chunks
+        still resolves to the same profiles (chunking is transport,
+        not semantics)."""
+        dataset = generate_synthetic(n_profiles=450, seed=8, chunk_size=10)
+        profiles = list(dataset.store)
+        spanning = [
+            (i, j)
+            for i, j in dataset.ground_truth
+            if i // 10 != j // 10
+        ]
+        assert spanning, "layout permutation should scatter clusters"
+        for i, j in spanning:
+            assert dataset.store[i].pairs == profiles[i].pairs
+            assert dataset.store[j].pairs == profiles[j].pairs
+
+
+class TestBoundaries:
+    def test_empty_dataset(self):
+        dataset = generate_synthetic(n_profiles=0)
+        assert len(dataset.store) == 0
+        assert list(dataset.store) == []
+        assert len(dataset.ground_truth) == 0
+        assert dataset.store.total_candidate_comparisons() == 0
+
+    def test_single_chunk(self):
+        dataset = generate_synthetic(n_profiles=50, chunk_size=1000)
+        assert len(list(dataset.store)) == 50
+
+    def test_registry_spelling_and_scale(self):
+        dataset = load_dataset("SYNTHETIC", scale=0.0002, seed=1)
+        assert dataset.name == "synthetic"
+        assert len(dataset.store) == 200
+        assert isinstance(dataset.store, ChunkedProfileStore)
+
+    def test_store_stats_protocol(self):
+        dataset = generate_synthetic(n_profiles=120, seed=6)
+        store = dataset.store
+        assert store.attribute_name_count() == 3
+        assert store.attribute_name_count_by_source() == {0: 3}
+        assert store.mean_pairs_per_profile() == pytest.approx(3.0)
+        assert store.source_size(0) == 120
+        assert list(store.source_ids(0)) == list(range(120))
+
+
+class TestZipfRank:
+    def test_bounds_and_monotonicity(self):
+        ranks = [zipf_rank(u / 200, 5000, 0.7) for u in range(200)]
+        assert ranks == sorted(ranks)
+        assert ranks[0] == 1
+        assert all(1 <= r <= 5000 for r in ranks)
+
+    def test_skew_concentrates_low_ranks(self):
+        skewed = [zipf_rank(u / 1000, 10_000, 1.0) for u in range(1000)]
+        uniform = [zipf_rank(u / 1000, 10_000, 0.0) for u in range(1000)]
+        assert sum(skewed) < sum(uniform) / 4
+
+    def test_degenerate_sizes(self):
+        assert zipf_rank(0.5, 1, 2.0) == 1
+        assert zipf_rank(0.99, 0, 1.0) == 1

@@ -25,6 +25,7 @@ INTEGRATION_SCALES = {
     "movies": 0.01,
     "dbpedia": 0.0004,
     "freebase": 0.0003,
+    "synthetic": 0.001,
 }
 
 ALL_METHODS = ["SAPSN", "SAPSAB", "LSPSN", "GSPSN", "PBS", "PPS"]
