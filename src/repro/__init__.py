@@ -83,6 +83,12 @@ from repro.core import (
     Tokenizer,
 )
 from repro.datasets import Dataset, list_datasets, load_dataset
+from repro.errors import (
+    BudgetExceeded,
+    ConfigError,
+    ReproError,
+    SessionClosed,
+)
 from repro.evaluation import (
     RecallCurve,
     evaluate_blocking,
@@ -119,6 +125,8 @@ from repro.pipeline import (
     ResolutionResult,
     Resolver,
     ResolverProgress,
+    ServiceConfig,
+    StorageConfig,
     resolve,
 )
 from repro.progressive import (
@@ -135,7 +143,7 @@ from repro.progressive import (
 )
 from repro.registry import ComponentRegistry, get_registry
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     # pipeline API
@@ -152,6 +160,13 @@ __all__ = [
     "BudgetConfig",
     "IncrementalConfig",
     "ParallelConfig",
+    "StorageConfig",
+    "ServiceConfig",
+    # errors
+    "ReproError",
+    "ConfigError",
+    "BudgetExceeded",
+    "SessionClosed",
     # incremental / online resolution
     "IncrementalResolver",
     "MutableProfileStore",

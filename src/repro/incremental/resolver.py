@@ -31,6 +31,7 @@ Block Purging is available as a query-time bound via
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Sequence
 
@@ -38,6 +39,7 @@ from repro.core.comparisons import Comparison
 from repro.core.ground_truth import GroundTruth
 from repro.core.profiles import EntityProfile, ProfileStore
 from repro.core.tokenization import DEFAULT_TOKENIZER
+from repro.errors import ConfigError
 from repro.incremental.index import IncrementalTokenIndex
 from repro.incremental.store import MutableProfileStore
 from repro.incremental.weights import IncrementalWeighter
@@ -94,8 +96,16 @@ class IncrementalResolver(Resolver):
         ground_truth: GroundTruth | None = None,
         dataset_name: str = "",
         psn_key: Callable | None = None,
+        index: IncrementalTokenIndex | None = None,
     ) -> None:
         store = MutableProfileStore.from_store(store)
+        if index is not None and index.store is not store:
+            # A pre-built index (the snapshot-restore path) must already
+            # be bound to the exact mutable store this session will
+            # ingest into, or the two drift apart on the first arrival.
+            raise ValueError(
+                "a pre-built index must share the session's mutable store"
+            )
         super().__init__(
             config,
             store,
@@ -112,7 +122,7 @@ class IncrementalResolver(Resolver):
             # Candidate generation in an incremental session is the live
             # token index; silently discarding a configured scheme would
             # replace the user's blocking strategy without notice.
-            raise ValueError(
+            raise ConfigError(
                 "incremental sessions use the live Token Blocking index; "
                 f"the configured blocking scheme {blocking.scheme!r} "
                 f"(params {blocking.params!r}) has no incremental "
@@ -127,7 +137,7 @@ class IncrementalResolver(Resolver):
             # (blocks/weighting/backend come from the live session).
             # The default method spec ("PPS" with no params, i.e. no
             # .method() call) is accepted as "unconfigured".
-            raise ValueError(
+            raise ConfigError(
                 "incremental sessions emit in the ONLINE (globally "
                 f"ranked) model; the configured method "
                 f"{config.method.name!r} (params "
@@ -139,7 +149,7 @@ class IncrementalResolver(Resolver):
             # Graph pruning is batch-global (thresholds over the whole
             # edge population); per-arrival emissions have no exact
             # incremental counterpart, so refuse rather than half-apply.
-            raise ValueError(
+            raise ConfigError(
                 "incremental sessions do not support Meta-blocking "
                 f"pruning; the configured {config.meta.pruning!r} stage "
                 "only applies to batch sessions - drop "
@@ -153,7 +163,15 @@ class IncrementalResolver(Resolver):
             if spec.purge_ratio is not None
             else blocking.purge_ratio
         )
-        self._index = IncrementalTokenIndex(store, tokenizer=DEFAULT_TOKENIZER)
+        #: Serializes index mutation - ingest, sequential probes (which
+        #: temporarily mutate and roll back the shared index) and close.
+        #: An RLock because resolve_one(ingest=True) nests add_profiles.
+        self._lock = threading.RLock()
+        self._index = (
+            index
+            if index is not None
+            else IncrementalTokenIndex(store, tokenizer=DEFAULT_TOKENIZER)
+        )
         self._weighter = IncrementalWeighter(
             self._index,
             weighting=config.meta.weighting,
@@ -208,15 +226,17 @@ class IncrementalResolver(Resolver):
         session's budget and recall bookkeeping exactly like streamed
         ones; an empty batch emits nothing.
         """
-        store: MutableProfileStore = self.store  # type: ignore[assignment]
-        profiles = store.add_profiles(items, sources=sources)
-        if not profiles:
-            return []
-        candidates = self._index.candidate_pairs(
-            [profile.profile_id for profile in profiles],
-            self._weighter.purge_limit(),
-        )
-        return self._emit_ranked(self._scorer.score(candidates))
+        with self._lock:
+            self._check_open()
+            store: MutableProfileStore = self.store  # type: ignore[assignment]
+            profiles = store.add_profiles(items, sources=sources)
+            if not profiles:
+                return []
+            candidates = self._index.candidate_pairs(
+                [profile.profile_id for profile in profiles],
+                self._weighter.purge_limit(),
+            )
+            return self._emit_ranked(self._scorer.score(candidates))
 
     def resolve_one(
         self,
@@ -241,9 +261,11 @@ class IncrementalResolver(Resolver):
         # single profile's candidates do not amortize an array refresh
         # that would be rolled back right after (weights are
         # bit-identical across scorers by construction).
-        return score_probe(
-            self._index, self._weighter, self._coerce_probe(item, source)
-        )
+        with self._lock:
+            self._check_open()
+            return score_probe(
+                self._index, self._weighter, self._coerce_probe(item, source)
+            )
 
     def resolve_many(
         self,
@@ -287,31 +309,33 @@ class IncrementalResolver(Resolver):
                 f"sources has {len(source_list)} entries for "
                 f"{len(item_list)} items"
             )
-        probes = [
-            self._coerce_probe(
-                item, None if source_list is None else source_list[position]
-            )
-            for position, item in enumerate(item_list)
-        ]
-        if workers < 2 or len(probes) <= 1:
-            # Sequential (and numpy-free) fast path.
-            return [
-                score_probe(self._index, self._weighter, probe)
-                for probe in probes
+        with self._lock:
+            self._check_open()
+            probes = [
+                self._coerce_probe(
+                    item, None if source_list is None else source_list[position]
+                )
+                for position, item in enumerate(item_list)
             ]
-        from repro.parallel.plan import ShardPlan
-        from repro.parallel.pool import WorkerPool
-        from repro.parallel.tasks import probe_score_task
+            if workers < 2 or len(probes) <= 1:
+                # Sequential (and numpy-free) fast path.
+                return [
+                    score_probe(self._index, self._weighter, probe)
+                    for probe in probes
+                ]
+            from repro.parallel.plan import ShardPlan
+            from repro.parallel.pool import WorkerPool
+            from repro.parallel.tasks import probe_score_task
 
-        pool = WorkerPool(workers)
-        try:
-            plan = ShardPlan.uniform(len(probes), min(workers, len(probes)))
-            chunks = [probes[lo:hi] for lo, hi in plan.ranges()]
-            payload = {"index": self._index, "weighter": self._weighter}
-            results = pool.run(probe_score_task, payload, chunks)
-        finally:
-            pool.close()
-        return [scored for chunk in results for scored in chunk]
+            pool = WorkerPool(workers)
+            try:
+                plan = ShardPlan.uniform(len(probes), min(workers, len(probes)))
+                chunks = [probes[lo:hi] for lo, hi in plan.ranges()]
+                payload = {"index": self._index, "weighter": self._weighter}
+                results = pool.run(probe_score_task, payload, chunks)
+            finally:
+                pool.close()
+            return [scored for chunk in results for scored in chunk]
 
     def _coerce_probe(
         self,
@@ -386,6 +410,53 @@ class IncrementalResolver(Resolver):
         self._stream_generation = self._index.generation
         super().reset()
         return self
+
+    # -- teardown / persistence -----------------------------------------------
+
+    def close(self) -> None:
+        """Tear the session down; idempotent and probe-safe.
+
+        Takes the session lock, so probes or ingests already executing
+        finish before the backend instance (worker pool, memmap scratch
+        directory) is released; late arrivals then fail with
+        :class:`~repro.errors.SessionClosed` instead of touching
+        invalidated arrays.  Closing an already-closed session is a
+        no-op.
+        """
+        with self._lock:
+            super().close()
+
+    def save(self, path: str) -> str:
+        """Persist the session state under the directory ``path``.
+
+        Writes profiles, config and the delta-maintained token index
+        (as ``.npy`` CSR arrays, through the persistent
+        :class:`~repro.engine.storage.ArrayStore` machinery when numpy
+        is available) so that :meth:`load` rebuilds a session that
+        streams bit-identically without re-tokenizing the corpus.
+        Emission-side state (budgets consumed, the position of a
+        half-drained stream) is deliberately *not* captured: a restored
+        session starts a fresh stream over the saved corpus, exactly
+        like the saved session's own ``reset()``.  Returns ``path``.
+        """
+        from repro.service.snapshot import save_session
+
+        with self._lock:
+            self._check_open()
+            return save_session(self, path)
+
+    @classmethod
+    def load(cls, path: str) -> "IncrementalResolver":
+        """Rebuild a saved session from :meth:`save`'s directory.
+
+        The postings come back from the snapshot arrays (no
+        re-tokenization); the restored session's ``stream()`` is
+        bit-identical to a fresh ``stream()`` of the saved one, and it
+        accepts further ingests/probes exactly like the original.
+        """
+        from repro.service.snapshot import load_session
+
+        return load_session(path)
 
     # -- incremental structures (introspection) -------------------------------
 

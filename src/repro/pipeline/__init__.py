@@ -17,6 +17,8 @@ from repro.pipeline.config import (
     MethodConfig,
     ParallelConfig,
     PipelineConfig,
+    ServiceConfig,
+    StorageConfig,
 )
 from repro.pipeline.facade import ResolutionResult, resolve
 from repro.pipeline.resolver import Resolver, ResolverProgress
@@ -35,4 +37,6 @@ __all__ = [
     "BudgetConfig",
     "IncrementalConfig",
     "ParallelConfig",
+    "ServiceConfig",
+    "StorageConfig",
 ]

@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, Any, Callable, TypeVar
 
 from repro.core.ground_truth import GroundTruth
 from repro.core.profiles import ProfileStore
+from repro.errors import ConfigError
 from repro.pipeline.config import (
     BlockingConfig,
     BudgetConfig,
@@ -36,7 +37,9 @@ from repro.pipeline.config import (
     MethodConfig,
     ParallelConfig,
     PipelineConfig,
+    ServiceConfig,
     StorageConfig,
+    check_service_stage,
 )
 from repro.pipeline.resolver import Resolver
 
@@ -191,7 +194,7 @@ class ERPipeline:
 
         canonical = backends.canonical(name)
         if self._config.parallel is not None and canonical != "numpy-parallel":
-            raise ValueError(
+            raise ConfigError(
                 f"backend {canonical!r} conflicts with the configured "
                 ".parallel(...) stage; choose backend('numpy-parallel') or "
                 "remove the parallel stage with .parallel(enabled=False)"
@@ -236,7 +239,7 @@ class ERPipeline:
                 self._config.backend = "numpy"
             return self
         if self._backend_explicit and self._config.backend != "numpy-parallel":
-            raise ValueError(
+            raise ConfigError(
                 f"explicit backend {self._config.backend!r} conflicts with "
                 ".parallel(...); choose backend('numpy-parallel'), drop the "
                 "backend call, or disable the stage with "
@@ -314,6 +317,60 @@ class ERPipeline:
             if enabled
             else None
         )
+        return self
+
+    def serve(
+        self,
+        *,
+        request_comparisons: int | None = None,
+        request_seconds: float | None = None,
+        session_comparisons: int | None = None,
+        session_seconds: float | None = None,
+        max_pending: int = 32,
+        snapshot_dir: str | None = None,
+        enabled: bool = True,
+    ) -> "ERPipeline":
+        """Describe a served session (the :mod:`repro.service` layer).
+
+        Adds a ``service`` stage carrying the admission-control knobs a
+        :class:`~repro.service.SessionManager` built from this spec will
+        enforce: ``request_*`` limits cap one probe (result truncation /
+        maximum queue wait), ``session_*`` limits cap the whole session
+        (cumulative comparisons served / session age), ``max_pending``
+        bounds the per-session queue depth, and ``snapshot_dir`` is
+        where snapshots are written.  Over-budget probes are rejected
+        with :class:`~repro.errors.BudgetExceeded`, never queued.
+
+        A served session is an incremental session: the stage implies
+        ``.incremental()`` (added automatically when absent) and the
+        incompatible batch-only stages - a non-token blocking scheme, a
+        non-ONLINE method, Meta-blocking pruning - are refused here at
+        config time, not at the first probe.  ``enabled=False`` removes
+        the stage (the implied incremental stage stays).
+
+        >>> from repro import ERPipeline
+        >>> spec = ERPipeline().serve(request_comparisons=10).to_dict()
+        >>> spec["service"]["request_budget"]["comparisons"]
+        10
+        >>> spec["incremental"] is not None
+        True
+        """
+        if not enabled:
+            self._config.service = None
+            return self
+        self._config.service = ServiceConfig(
+            session_budget=BudgetConfig(
+                comparisons=session_comparisons, seconds=session_seconds
+            ),
+            request_budget=BudgetConfig(
+                comparisons=request_comparisons, seconds=request_seconds
+            ),
+            max_pending=max_pending,
+            snapshot_dir=snapshot_dir,
+        )
+        if self._config.incremental is None:
+            self._config.incremental = IncrementalConfig()
+        check_service_stage(self._config)
         return self
 
     # -- spec round-trip ------------------------------------------------------
@@ -431,6 +488,15 @@ def _snapshot(config: PipelineConfig) -> PipelineConfig:
             None
             if config.storage is None
             else dataclasses.replace(config.storage)
+        ),
+        service=(
+            None
+            if config.service is None
+            else dataclasses.replace(
+                config.service,
+                session_budget=dataclasses.replace(config.service.session_budget),
+                request_budget=dataclasses.replace(config.service.request_budget),
+            )
         ),
     )
 

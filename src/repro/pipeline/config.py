@@ -19,10 +19,12 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field
 from typing import Any, Mapping
 
+from repro.errors import ConfigError
 from repro.registry import (
     backends,
     blocking_schemes,
     matchers,
+    normalize,
     progressive_methods,
     pruning_algorithms,
     weighting_schemes,
@@ -31,7 +33,7 @@ from repro.registry import (
 
 def _check_ratio(name: str, value: float | None) -> None:
     if value is not None and not 0.0 < value <= 1.0:
-        raise ValueError(f"{name} must be in (0, 1] or None, got {value!r}")
+        raise ConfigError(f"{name} must be in (0, 1] or None, got {value!r}")
 
 
 def _reject_unknown_keys(
@@ -39,7 +41,7 @@ def _reject_unknown_keys(
 ) -> None:
     unknown = sorted(set(data) - set(allowed))
     if unknown:
-        raise ValueError(
+        raise ConfigError(
             f"unknown {stage} config keys {unknown}; allowed: {sorted(allowed)}"
         )
 
@@ -87,7 +89,7 @@ class MetaBlockingConfig:
         self.weighting = weighting_schemes.canonical(self.weighting)
         if self.pruning is None:
             if self.params:
-                raise ValueError(
+                raise ConfigError(
                     f"meta-blocking params {sorted(self.params)} given "
                     "without a pruning algorithm"
                 )
@@ -96,18 +98,18 @@ class MetaBlockingConfig:
         self.pruning = entry.name
         unknown = sorted(set(self.params) - {"k"})
         if unknown:
-            raise ValueError(
+            raise ConfigError(
                 f"unknown pruning params {unknown}; allowed: ['k']"
             )
         if "k" in self.params:
             k = self.params["k"]
             if not entry.metadata.get("takes_k", False):
-                raise ValueError(
+                raise ConfigError(
                     f"pruning algorithm {entry.name!r} takes no cardinality "
                     "budget; k applies to CEP, CNP and RCNP only"
                 )
             if k is not None and (not isinstance(k, int) or k < 1):
-                raise ValueError(f"pruning budget k must be an int >= 1, got {k!r}")
+                raise ConfigError(f"pruning budget k must be an int >= 1, got {k!r}")
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "MetaBlockingConfig":
@@ -169,17 +171,17 @@ class BudgetConfig:
 
     def __post_init__(self) -> None:
         if self.comparisons is not None and self.comparisons < 0:
-            raise ValueError(
+            raise ConfigError(
                 "comparisons budget must be >= 0 (0 emits nothing), "
                 f"got {self.comparisons!r}"
             )
         if self.seconds is not None and self.seconds < 0:
-            raise ValueError(
+            raise ConfigError(
                 "seconds budget must be >= 0 (0 emits nothing), "
                 f"got {self.seconds!r}"
             )
         if self.target_recall is not None and not 0.0 < self.target_recall <= 1.0:
-            raise ValueError(
+            raise ConfigError(
                 f"target_recall must be in (0, 1], got {self.target_recall!r}"
             )
 
@@ -260,11 +262,11 @@ class ParallelConfig:
 
     def __post_init__(self) -> None:
         if self.workers is not None and self.workers < 0:
-            raise ValueError(f"workers must be >= 0, got {self.workers!r}")
+            raise ConfigError(f"workers must be >= 0, got {self.workers!r}")
         if self.shards is not None and self.shards < 1:
-            raise ValueError(f"shards must be >= 1, got {self.shards!r}")
+            raise ConfigError(f"shards must be >= 1, got {self.shards!r}")
         if self.ship not in ("pickle", "memmap"):
-            raise ValueError(
+            raise ConfigError(
                 f"ship must be 'pickle' or 'memmap', got {self.ship!r}"
             )
 
@@ -307,6 +309,105 @@ class StorageConfig:
 
 
 @dataclass
+class ServiceConfig:
+    """Optional stage: serve the session behind the asyncio service layer.
+
+    When present, the pipeline describes a *served* incremental session
+    (see :mod:`repro.service`): ``fit`` still returns the
+    :class:`~repro.incremental.resolver.IncrementalResolver`, and a
+    :class:`~repro.service.SessionManager` created from the same spec
+    applies the admission-control knobs per request:
+
+    * ``request_budget`` caps one probe: its result list is truncated to
+      ``comparisons`` entries; ``seconds`` bounds the time a request may
+      wait in the session queue before being *rejected* (not queued);
+    * ``session_budget`` caps the whole session: cumulative comparisons
+      served across all probes, and session age in ``seconds``.  Once a
+      limit is hit further probes are refused with
+      :class:`~repro.errors.BudgetExceeded`;
+    * ``max_pending`` bounds the per-session queue depth - request
+      number ``max_pending + 1`` is rejected immediately;
+    * ``snapshot_dir`` is where ``POST /sessions/<name>/snapshot``
+      persists session state (default: a ``repro-snapshots`` directory
+      under the system temp dir).
+
+    ``target_recall`` budgets make no sense for admission control (the
+    service has no oracle) and are refused at config time.
+    """
+
+    session_budget: BudgetConfig = field(default_factory=BudgetConfig)
+    request_budget: BudgetConfig = field(default_factory=BudgetConfig)
+    max_pending: int = 32
+    snapshot_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        for label, budget in (
+            ("session", self.session_budget),
+            ("request", self.request_budget),
+        ):
+            if budget.target_recall is not None:
+                raise ConfigError(
+                    f"service {label}_budget cannot use target_recall "
+                    "(admission control has no oracle); use comparisons "
+                    "and/or seconds limits"
+                )
+        if not isinstance(self.max_pending, int) or self.max_pending < 1:
+            raise ConfigError(
+                f"max_pending must be an int >= 1, got {self.max_pending!r}"
+            )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ServiceConfig":
+        _reject_unknown_keys(
+            "service",
+            data,
+            ("session_budget", "request_budget", "max_pending", "snapshot_dir"),
+        )
+        return cls(
+            session_budget=BudgetConfig.from_dict(data.get("session_budget", {})),
+            request_budget=BudgetConfig.from_dict(data.get("request_budget", {})),
+            max_pending=data.get("max_pending", 32),
+            snapshot_dir=data.get("snapshot_dir"),
+        )
+
+
+def check_service_stage(config: "PipelineConfig") -> None:
+    """Config-time cross-checks of a ``service`` stage.
+
+    A served session *is* an incremental session, so every fit-time
+    refusal of :class:`~repro.incremental.resolver.IncrementalResolver`
+    is mirrored here - the spec fails when it is written, not when the
+    first probe arrives.  Shared by the :class:`PipelineConfig`
+    constructor and :meth:`repro.pipeline.ERPipeline.serve`.
+    """
+    if config.service is None:
+        return
+    blocking = config.blocking
+    if normalize(blocking.scheme) != "TOKEN" or blocking.params:
+        raise ConfigError(
+            "a service stage implies an incremental session, which uses "
+            f"the live Token Blocking index; the blocking scheme "
+            f"{blocking.scheme!r} (params {blocking.params!r}) has no "
+            "incremental counterpart - drop the .blocking(...) stage"
+        )
+    if normalize(config.method.name) not in ("PPS", "ONLINE") or (
+        config.method.params
+    ):
+        raise ConfigError(
+            "served sessions emit in the ONLINE (globally ranked) model; "
+            f"the configured method {config.method.name!r} (params "
+            f"{config.method.params!r}) only applies to batch sessions - "
+            "drop the .method(...) stage"
+        )
+    if config.meta.pruning is not None:
+        raise ConfigError(
+            "served sessions do not support Meta-blocking pruning; the "
+            f"configured {config.meta.pruning!r} stage only applies to "
+            "batch sessions - drop .meta(pruning=...)"
+        )
+
+
+@dataclass
 class PipelineConfig:
     """The full pipeline spec: one dataclass per stage, dict round-trip.
 
@@ -328,15 +429,22 @@ class PipelineConfig:
     incremental: IncrementalConfig | None = None
     parallel: ParallelConfig | None = None
     storage: StorageConfig | None = None
+    service: ServiceConfig | None = None
 
     def __post_init__(self) -> None:
         self.backend = backends.canonical(self.backend)
         if self.parallel is not None and self.backend != "numpy-parallel":
-            raise ValueError(
+            raise ConfigError(
                 f"a parallel stage requires backend 'numpy-parallel', got "
                 f"{self.backend!r}; drop the parallel config or switch the "
                 "backend"
             )
+        if self.service is not None:
+            # A served session is an incremental session: the stage is
+            # implied rather than required twice in every spec.
+            if self.incremental is None:
+                self.incremental = IncrementalConfig()
+            check_service_stage(self)
 
     def to_dict(self) -> dict[str, Any]:
         """A plain nested dict reproducing this config via ``from_dict``."""
@@ -356,6 +464,9 @@ class PipelineConfig:
             "storage": (
                 None if self.storage is None else asdict(self.storage)
             ),
+            "service": (
+                None if self.service is None else asdict(self.service)
+            ),
         }
 
     @classmethod
@@ -373,12 +484,14 @@ class PipelineConfig:
                 "incremental",
                 "parallel",
                 "storage",
+                "service",
             ),
         )
         matcher = data.get("matcher")
         incremental = data.get("incremental")
         parallel = data.get("parallel")
         storage = data.get("storage")
+        service = data.get("service")
         return cls(
             blocking=BlockingConfig.from_dict(data.get("blocking", {})),
             meta=MetaBlockingConfig.from_dict(data.get("meta", {})),
@@ -396,5 +509,8 @@ class PipelineConfig:
             ),
             storage=(
                 None if storage is None else StorageConfig.from_dict(storage)
+            ),
+            service=(
+                None if service is None else ServiceConfig.from_dict(service)
             ),
         )

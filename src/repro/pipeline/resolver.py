@@ -24,7 +24,8 @@ from repro.blocking.workflow import blocking_workflow
 from repro.core.comparisons import Comparison
 from repro.core.ground_truth import GroundTruth
 from repro.core.profiles import ProfileStore
-from repro.evaluation.progressive_recall import RecallCurve, run_progressive
+from repro.errors import SessionClosed
+from repro.evaluation.progressive_recall import RecallCurve, _drive_progressive
 from repro.matching.match_functions import MatchFunction
 from repro.progressive.base import ProgressiveMethod
 from repro.registry import matchers, normalize, progressive_methods
@@ -133,6 +134,7 @@ class Resolver:
         self._emitter: Iterator[Comparison] | None = None
         self._emitted = 0
         self._exhausted = False
+        self._closed = False
         self._started_at: float | None = None
         self._matched_pairs: set[tuple[int, int]] = set()
         self._true_found: set[tuple[int, int]] = set()
@@ -193,6 +195,18 @@ class Resolver:
             return self._backend_instance
         return self.config.backend
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` tore this session down."""
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SessionClosed(
+                f"this {type(self).__name__} session is closed; open a "
+                "fresh session with ERPipeline.fit(...)"
+            )
+
     def close(self) -> None:
         """Release the session's runtime resources now (idempotent).
 
@@ -202,7 +216,12 @@ class Resolver:
         the resolver as a context manager) makes it deterministic.
         Structures already handed out against a memmap store become
         invalid.  Registry-singleton backends are never touched.
+
+        Closing twice (or more) is a no-op; any *other* use of the
+        session afterwards raises
+        :class:`~repro.errors.SessionClosed`.
         """
+        self._closed = True
         backend, self._backend_instance = self._backend_instance, None
         if backend is not None:
             backend.close()  # type: ignore[attr-defined]
@@ -385,6 +404,7 @@ class Resolver:
     def initialize(self) -> "Resolver":
         """Build blocks, method and matcher; run the method's
         initialization phase (idempotent)."""
+        self._check_open()
         if self.method is None:
             self.method = self.build_method()
             self.matcher = self._build_matcher()
@@ -551,7 +571,7 @@ class Resolver:
         if self.config.meta.pruning is not None:
             # the protocol drives the *pruned* emission, as stream() does
             stream = _PrunedMethodView(method, self._emitter_for(method))
-        return run_progressive(
+        return _drive_progressive(
             stream,
             truth,
             max_ec_star=max_ec_star,

@@ -1,0 +1,41 @@
+"""Resolution-as-a-service: sessions, snapshots and the HTTP front-end.
+
+The serving layer over :class:`~repro.incremental.resolver.
+IncrementalResolver` sessions (PR 9):
+
+* :mod:`repro.service.session` - :class:`SessionManager` /
+  :class:`ServiceSession`: named live sessions, admission control,
+  per-session metrics;
+* :mod:`repro.service.snapshot` - session snapshot/restore with the
+  bit-identical stream-digest contract;
+* :mod:`repro.service.http` - the stdlib asyncio HTTP/1.1 front-end
+  (``python -m repro.service`` serves it);
+* :mod:`repro.service.client` - in-process and TCP clients over the
+  same JSON surface.
+"""
+
+from repro.service.client import HTTPClient, InProcessClient
+from repro.service.http import ServiceApp, ServiceServer
+from repro.service.session import ServiceSession, SessionManager, SessionMetrics
+from repro.service.snapshot import (
+    SNAPSHOT_FORMAT,
+    load_session,
+    read_manifest,
+    save_session,
+    stream_digest,
+)
+
+__all__ = [
+    "HTTPClient",
+    "InProcessClient",
+    "SNAPSHOT_FORMAT",
+    "ServiceApp",
+    "ServiceServer",
+    "ServiceSession",
+    "SessionManager",
+    "SessionMetrics",
+    "load_session",
+    "read_manifest",
+    "save_session",
+    "stream_digest",
+]

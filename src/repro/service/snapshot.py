@@ -1,0 +1,286 @@
+"""Session snapshot/restore: cheap restarts for served sessions.
+
+A snapshot is a plain directory:
+
+* ``manifest.json`` - format tag, the pipeline spec (``to_dict`` form),
+  ER type, element counts, the index generation and the creation time;
+* ``profiles.jsonl`` - one ``[source, [[name, value], ...]]`` record per
+  line; the line number *is* the dense profile id;
+* ``tokens.json`` - the distinct tokens, sorted;
+* ``postings_indptr.npy`` / ``postings_ids.npy`` - the postings in CSR
+  form (int64): token ``t``'s posting is
+  ``ids[indptr[t]:indptr[t + 1]]``, profile ids in ingestion order.
+
+The arrays are standard ``.npy`` (format version 1) files.  With numpy
+installed they are written and read through the persistent
+:class:`~repro.engine.storage.ArrayStore` memmap machinery; without it a
+small stdlib writer/reader produces and parses byte-identical files - a
+snapshot taken on a numpy host restores on a python-only host and vice
+versa.
+
+Restoring never re-tokenizes: the postings come straight from the
+arrays and every derived statistic is recomputed in one pass
+(:meth:`~repro.incremental.index.IncrementalTokenIndex.restore`), so a
+restored session streams bit-identically to the saved one - the digest
+contract :func:`stream_digest` makes checkable.
+
+Emission-side state (budgets consumed, half-drained streams) is *not*
+part of a snapshot: a restored session starts fresh over the saved
+corpus, like ``reset()`` on the original.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import struct
+import sys
+import time
+from array import array
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.core.comparisons import Comparison
+from repro.core.profiles import EntityProfile, ERType
+
+try:  # numpy is optional (the repro[speed] extra)
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised on python-only hosts
+    np = None  # type: ignore[assignment]
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.incremental.resolver import IncrementalResolver
+
+#: Snapshot format tag; bumped on any layout change.
+SNAPSHOT_FORMAT = "repro-session/1"
+
+MANIFEST = "manifest.json"
+PROFILES = "profiles.jsonl"
+TOKENS = "tokens.json"
+INDPTR = "postings_indptr"
+IDS = "postings_ids"
+
+_NPY_MAGIC = b"\x93NUMPY"
+
+
+def stream_digest(comparisons: Iterable[Comparison]) -> str:
+    """Order- and weight-sensitive digest of an emission stream.
+
+    The snapshot acceptance contract: a restored session's ``stream()``
+    must produce the same digest as a fresh ``stream()`` of the saved
+    session - same pairs, same order, bit-identical weights (``repr``
+    of a float is exact round-trip text).
+    """
+    import hashlib
+
+    digest = hashlib.blake2b(digest_size=16)
+    for comparison in comparisons:
+        digest.update(
+            f"{comparison.i},{comparison.j},{comparison.weight!r};".encode()
+        )
+    return digest.hexdigest()
+
+
+# -- int64 .npy files, with and without numpy ---------------------------------
+
+
+def _npy_header(count: int) -> bytes:
+    """The byte-exact .npy v1 preamble numpy writes for a 1-D int64 array."""
+    header = (
+        "{'descr': '<i8', 'fortran_order': False, "
+        f"'shape': ({count},), }}"
+    )
+    # Pad with spaces so magic+version+length+header is 64-aligned,
+    # newline-terminated - the alignment rule of the .npy format spec.
+    base = len(_NPY_MAGIC) + 2 + 2
+    padded = -(base + len(header) + 1) % 64
+    header = header + " " * padded + "\n"
+    return (
+        _NPY_MAGIC + b"\x01\x00" + struct.pack("<H", len(header))
+        + header.encode("latin1")
+    )
+
+
+def _write_npy_int64(path: str, values: Sequence[int]) -> None:
+    """Write a 1-D int64 ``.npy`` (format v1) with the stdlib only."""
+    data = array("q", (int(v) for v in values))
+    if sys.byteorder == "big":  # pragma: no cover - little-endian CI
+        data.byteswap()
+    with open(path, "wb") as handle:
+        handle.write(_npy_header(len(data)))
+        handle.write(data.tobytes())
+
+
+def _read_npy_int64(path: str) -> Sequence[int]:
+    """Read a 1-D little-endian int64 ``.npy`` with the stdlib only."""
+    with open(path, "rb") as handle:
+        magic = handle.read(len(_NPY_MAGIC))
+        if magic != _NPY_MAGIC:
+            raise ValueError(f"{path} is not a .npy file")
+        major = handle.read(2)[0]
+        length = struct.unpack(
+            "<H" if major == 1 else "<I", handle.read(2 if major == 1 else 4)
+        )[0]
+        header = ast.literal_eval(handle.read(length).decode("latin1"))
+        if header.get("descr") != "<i8" or header.get("fortran_order"):
+            raise ValueError(
+                f"{path}: expected a C-order '<i8' array, got {header!r}"
+            )
+        (count,) = header["shape"]
+        data = array("q")
+        data.frombytes(handle.read(8 * count))
+        if len(data) != count:
+            raise ValueError(f"{path}: truncated array ({len(data)}/{count})")
+        if sys.byteorder == "big":  # pragma: no cover - little-endian CI
+            data.byteswap()
+        return data
+
+
+def _write_arrays(path: str, indptr: Sequence[int], flat: Sequence[int]) -> None:
+    if np is None:
+        _write_npy_int64(os.path.join(path, f"{INDPTR}.npy"), indptr)
+        _write_npy_int64(os.path.join(path, f"{IDS}.npy"), flat)
+        return
+    # The ArrayStore persistent mode: the same memmap machinery the
+    # storage="memmap" substrate uses, rooted at the snapshot directory
+    # and left on disk by close().
+    from repro.engine.storage import ArrayStore
+
+    store = ArrayStore.persistent(path)
+    try:
+        # indptr always has at least one entry (the leading 0).
+        out = store.empty(len(indptr), np.int64, name=INDPTR)
+        out[:] = np.asarray(indptr, dtype=np.int64)
+        del out  # flush the memmap before detaching the store
+        if flat:
+            ids = store.empty(len(flat), np.int64, name=IDS)
+            ids[:] = np.asarray(flat, dtype=np.int64)
+            del ids
+        else:
+            # np.memmap rejects zero-length maps; write the empty array
+            # through the stdlib path (byte-identical header).
+            _write_npy_int64(os.path.join(path, f"{IDS}.npy"), [])
+    finally:
+        store.close()
+
+
+def _read_array(path: str) -> Sequence[int]:
+    if np is not None:
+        loaded = np.load(path, mmap_mode="r")
+        if loaded.dtype != np.int64 or loaded.ndim != 1:
+            raise ValueError(
+                f"{path}: expected a 1-D int64 array, got "
+                f"{loaded.dtype}/{loaded.ndim}-D"
+            )
+        return loaded
+    return _read_npy_int64(path)
+
+
+# -- save / load --------------------------------------------------------------
+
+
+def save_session(resolver: "IncrementalResolver", path: str) -> str:
+    """Write ``resolver``'s state as a snapshot directory at ``path``.
+
+    Called through :meth:`IncrementalResolver.save` (which holds the
+    session lock, so the state written is a consistent cut).  Existing
+    snapshot files at ``path`` are overwritten; the manifest is written
+    last, so a directory with a readable manifest is always a complete
+    snapshot.
+    """
+    os.makedirs(path, exist_ok=True)
+    store = resolver.store
+    with open(os.path.join(path, PROFILES), "w") as handle:
+        for profile in store:
+            json.dump(
+                [profile.source, [list(pair) for pair in profile.pairs]],
+                handle,
+                separators=(",", ":"),
+            )
+            handle.write("\n")
+    tokens, indptr, flat = resolver.index.postings_csr()
+    with open(os.path.join(path, TOKENS), "w") as handle:
+        json.dump(tokens, handle)
+    _write_arrays(path, indptr, flat)
+    manifest = {
+        "format": SNAPSHOT_FORMAT,
+        "config": resolver.config.to_dict(),
+        "er_type": store.er_type.name,
+        "dataset_name": resolver.dataset_name,
+        "profiles": len(store),
+        "tokens": len(tokens),
+        "postings": len(flat),
+        "generation": resolver.index.generation,
+        "created_unix": time.time(),
+    }
+    manifest_path = os.path.join(path, MANIFEST)
+    staging = manifest_path + ".tmp"
+    with open(staging, "w") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(staging, manifest_path)
+    return path
+
+
+def read_manifest(path: str) -> dict:
+    """Load and format-check a snapshot directory's manifest."""
+    try:
+        with open(os.path.join(path, MANIFEST)) as handle:
+            manifest = json.load(handle)
+    except FileNotFoundError:
+        raise ValueError(
+            f"{path!r} is not a session snapshot (no {MANIFEST})"
+        ) from None
+    if manifest.get("format") != SNAPSHOT_FORMAT:
+        raise ValueError(
+            f"unsupported snapshot format {manifest.get('format')!r} at "
+            f"{path!r} (expected {SNAPSHOT_FORMAT!r})"
+        )
+    return manifest
+
+
+def load_session(path: str) -> "IncrementalResolver":
+    """Rebuild an :class:`IncrementalResolver` from a snapshot directory.
+
+    The inverse of :func:`save_session`: profiles are re-read into a
+    fresh :class:`~repro.incremental.store.MutableProfileStore`, the
+    token index is restored from the CSR arrays without re-tokenizing,
+    and the resolver is constructed over both - ready to stream
+    (bit-identically to the saved session) and to ingest further
+    profiles.
+    """
+    from repro.incremental.index import IncrementalTokenIndex
+    from repro.incremental.resolver import IncrementalResolver
+    from repro.incremental.store import MutableProfileStore
+    from repro.pipeline.config import PipelineConfig
+
+    manifest = read_manifest(path)
+    config = PipelineConfig.from_dict(manifest["config"])
+    profiles = []
+    with open(os.path.join(path, PROFILES)) as handle:
+        for line_number, line in enumerate(handle):
+            source, pairs = json.loads(line)
+            profiles.append(EntityProfile(line_number, pairs, source))
+    if len(profiles) != manifest["profiles"]:
+        raise ValueError(
+            f"snapshot at {path!r} holds {len(profiles)} profiles, "
+            f"manifest says {manifest['profiles']}"
+        )
+    store = MutableProfileStore(profiles, ERType[manifest["er_type"]])
+    with open(os.path.join(path, TOKENS)) as handle:
+        tokens = json.load(handle)
+    indptr = _read_array(os.path.join(path, f"{INDPTR}.npy"))
+    flat = _read_array(os.path.join(path, f"{IDS}.npy"))
+    index = IncrementalTokenIndex.restore(
+        store,
+        tokens,
+        indptr[: len(tokens) + 1],
+        flat,
+        generation=int(manifest["generation"]),
+    )
+    return IncrementalResolver(
+        config,
+        store,
+        dataset_name=manifest.get("dataset_name", ""),
+        index=index,
+    )

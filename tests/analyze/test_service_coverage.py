@@ -1,0 +1,64 @@
+"""The analyze rules cover the serving layer.
+
+The service package is outside the kernel packages, so its numpy use
+must stay behind ``ImportError`` guards (snapshots are written on
+python-only hosts too) - the ``guarded-numpy`` rule enforces that, and
+these tests pin the service sources into its scope and currently clean.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from tools.repro_analyze.checkers import determinism, guarded_numpy
+from tools.repro_analyze.core import (
+    filter_suppressed,
+    module_name,
+    parse_file,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+SERVICE_SOURCES = {
+    "src/repro/service/__init__.py": "repro.service",
+    "src/repro/service/client.py": "repro.service.client",
+    "src/repro/service/http.py": "repro.service.http",
+    "src/repro/service/session.py": "repro.service.session",
+    "src/repro/service/snapshot.py": "repro.service.snapshot",
+    "src/repro/service/__main__.py": "repro.service.__main__",
+}
+
+
+@pytest.mark.parametrize("relpath,module", sorted(SERVICE_SOURCES.items()))
+def test_service_modules_are_in_rule_scope(relpath, module):
+    path = REPO_ROOT / relpath
+    assert path.is_file()
+    assert module_name(path, REPO_ROOT) == module
+
+
+@pytest.mark.parametrize("rule", [determinism, guarded_numpy])
+@pytest.mark.parametrize("relpath", sorted(SERVICE_SOURCES))
+def test_service_sources_are_clean(rule, relpath):
+    source = parse_file(REPO_ROOT / relpath, REPO_ROOT)
+    assert source is not None
+    assert not list(filter_suppressed(source, rule.check(source)))
+
+
+def test_unguarded_numpy_in_service_is_flagged(run_rule):
+    violations = run_rule(
+        guarded_numpy,
+        textwrap.dedent(
+            """
+            import numpy as np
+
+            def dump(path, values):
+                np.save(path, np.asarray(values))
+            """
+        ),
+        "repro.service.snapshot",
+    )
+    assert len(violations) == 1
+    assert violations[0].rule == "guarded-numpy"

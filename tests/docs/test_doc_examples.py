@@ -32,6 +32,7 @@ def test_documentation_is_present():
         "metablocking.md",
         "migration.md",
         "parallel.md",
+        "service.md",
         "static-analysis.md",
     } <= names
 

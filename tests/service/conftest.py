@@ -1,0 +1,33 @@
+"""Shared records for the service tests (the Figure 3 running example)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pipeline import ERPipeline
+
+RECORDS = [
+    {"name": "carl white", "profession": "tailor", "city": "ny"},
+    {"about": "carl_white", "livesin": "ny", "workas": "tailor"},
+    {"about": "karl_white", "loc": "ny", "job": "tailor"},
+    {"name": "ellen white", "profession": "teacher", "city": "ml"},
+    {"text": "hellen white, ml teacher"},
+    {"text": "emma white, wi tailor"},
+]
+
+PROBE = {"text": "emma white, ny tailor"}
+
+
+def service_pipeline(backend: str = "python", **serve_kwargs) -> ERPipeline:
+    """A served pipeline with purging off (emissions at toy scale)."""
+    return (
+        ERPipeline()
+        .backend(backend)
+        .blocking("token", purge=None, filter_ratio=None)
+        .serve(**serve_kwargs)
+    )
+
+
+@pytest.fixture()
+def pipeline() -> ERPipeline:
+    return service_pipeline()

@@ -1,0 +1,279 @@
+"""The HTTP surface: routing, error mapping, both clients, real TCP."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.errors import BudgetExceeded, ConfigError, SessionClosed
+from repro.service import (
+    HTTPClient,
+    InProcessClient,
+    ServiceApp,
+    ServiceServer,
+    SessionManager,
+)
+
+from .conftest import PROBE, RECORDS, service_pipeline
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+@pytest.fixture()
+def manager(pipeline):
+    with SessionManager(pipeline) as live:
+        yield live
+
+
+# -- dispatch + status mapping (transport-free) --------------------------------
+
+
+def test_status_mapping(manager):
+    app = ServiceApp(manager)
+
+    async def exercise():
+        status, body = await app.handle("GET", "/health", None)
+        assert (status, body["status"]) == (200, "ok")
+        status, body = await app.handle("GET", "/nope", None)
+        assert status == 404
+        status, body = await app.handle("GET", "/sessions/ghost", None)
+        assert status == 404 and "ghost" in body["error"]
+        status, body = await app.handle("DELETE", "/health", None)
+        assert status == 405 and "GET" in body["error"]
+        status, body = await app.handle("POST", "/sessions", {})
+        assert status == 400  # no name
+        status, body = await app.handle(
+            "POST", "/sessions", {"name": "../evil"}
+        )
+        assert status == 400 and "invalid session name" in body["error"]
+
+    run(exercise())
+
+
+def test_budget_rejection_maps_to_429_with_reason():
+    with SessionManager(service_pipeline(session_comparisons=0)) as manager:
+        app = ServiceApp(manager)
+
+        async def exercise():
+            await app.handle("POST", "/sessions", {"name": "s",
+                                                   "records": RECORDS})
+            status, body = await app.handle(
+                "POST", "/sessions/s/probe", {"records": [PROBE]}
+            )
+            assert status == 429
+            assert body["reason"] == "session-comparisons"
+
+        run(exercise())
+
+
+def test_closed_session_maps_to_409(manager):
+    app = ServiceApp(manager)
+
+    async def exercise():
+        await app.handle("POST", "/sessions", {"name": "s"})
+        manager.get("s").close()
+        status, body = await app.handle(
+            "POST", "/sessions/s/ingest", {"records": RECORDS}
+        )
+        assert status == 409
+
+    run(exercise())
+
+
+def test_malformed_operation_bodies_are_400(manager):
+    app = ServiceApp(manager)
+
+    async def exercise():
+        await app.handle("POST", "/sessions", {"name": "s"})
+        for action, body in [
+            ("ingest", {}),  # no records
+            ("probe", {"records": "not-a-list"}),
+            ("stream", {"limit": -1}),
+            ("stream", {"limit": "many"}),
+        ]:
+            status, payload = await app.handle(
+                "POST", f"/sessions/s/{action}", body
+            )
+            assert status == 400, (action, payload)
+        status, _ = await app.handle("POST", "/sessions/s/warp", {})
+        assert status == 404
+
+    run(exercise())
+
+
+# -- the in-process client -----------------------------------------------------
+
+
+def test_in_process_client_raises_typed_errors(manager):
+    client = InProcessClient(manager)
+
+    async def exercise():
+        with pytest.raises(KeyError):
+            await client.session_metrics("ghost")
+        await client.create_session("s", RECORDS)
+        with pytest.raises(ConfigError, match="already exists"):
+            await client.create_session("s")
+        manager.get("s").close()
+        with pytest.raises(SessionClosed):
+            await client.stream("s", limit=1)
+
+    run(exercise())
+
+
+def test_in_process_client_full_lifecycle(manager, tmp_path):
+    client = InProcessClient(manager)
+
+    async def exercise():
+        assert (await client.health())["sessions"] == 0
+        await client.create_session("s", RECORDS[:4])
+        emitted = await client.ingest("s", RECORDS[4:])
+        assert emitted and all(len(triple) == 3 for triple in emitted)
+        scored = await client.probe("s", [PROBE])
+        assert scored[0]
+        batch = await client.stream("s", limit=3)
+        assert len(batch) == 3
+        manifest = await client.snapshot("s", str(tmp_path / "s"))
+        assert manifest["profiles"] == len(RECORDS)
+        assert (await client.session_metrics("s"))["probes"] == 1
+        await client.delete_session("s")
+        restored = await client.restore_session("s", str(tmp_path / "s"))
+        assert restored["profiles"] == len(RECORDS)
+        assert await client.sessions() == ["s"]
+        assert (await client.metrics())["session_count"] == 1
+
+    run(exercise())
+
+
+# -- the served socket ---------------------------------------------------------
+
+
+def test_http_client_against_real_server(manager, tmp_path):
+    async def exercise():
+        server = await ServiceServer(manager).start()
+        try:
+            async with HTTPClient("127.0.0.1", server.port) as client:
+                await client.create_session("s", RECORDS[:4])
+                emitted = await client.ingest("s", RECORDS[4:])
+                assert emitted
+                scored = await client.probe("s", [PROBE, PROBE])
+                assert len(scored) == 2 and scored[0] == scored[1]
+                manifest = await client.snapshot("s", str(tmp_path / "s"))
+                assert manifest["profiles"] == len(RECORDS)
+                # keep-alive: many calls over one connection
+                for _ in range(5):
+                    assert (await client.health())["status"] == "ok"
+                with pytest.raises(KeyError):
+                    await client.session_metrics("ghost")
+        finally:
+            await server.stop()
+
+    run(exercise())
+
+
+def test_http_and_in_process_results_agree(manager):
+    """Everything above the socket is shared; results are identical."""
+
+    async def exercise():
+        local = InProcessClient(manager)
+        await local.create_session("s", RECORDS)
+        server = await ServiceServer(manager).start()
+        try:
+            async with HTTPClient("127.0.0.1", server.port) as remote:
+                over_wire = await remote.probe("s", [PROBE])
+        finally:
+            await server.stop()
+        in_process = await local.probe("s", [PROBE])
+        assert over_wire == in_process
+
+    run(exercise())
+
+
+def test_http_budget_rejection_round_trips_reason():
+    async def exercise():
+        with SessionManager(service_pipeline(request_seconds=0)) as manager:
+            server = await ServiceServer(manager).start()
+            try:
+                async with HTTPClient("127.0.0.1", server.port) as client:
+                    await client.create_session("s", RECORDS)
+                    with pytest.raises(BudgetExceeded) as excinfo:
+                        await client.probe("s", [PROBE])
+                    assert excinfo.value.reason == "request-seconds"
+            finally:
+                await server.stop()
+
+    run(exercise())
+
+
+def test_raw_protocol_edges(manager):
+    """Bad JSON, non-object bodies and garbage request lines."""
+
+    async def exercise():
+        server = await ServiceServer(manager).start()
+        try:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+
+            async def roundtrip(payload: bytes) -> tuple[int, dict]:
+                head = (
+                    b"POST /sessions HTTP/1.1\r\n"
+                    b"Content-Length: " + str(len(payload)).encode()
+                    + b"\r\n\r\n"
+                )
+                writer.write(head + payload)
+                await writer.drain()
+                status_line = await reader.readline()
+                status = int(status_line.split()[1])
+                length = 0
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    if line.lower().startswith(b"content-length"):
+                        length = int(line.split(b":")[1])
+                body = json.loads(await reader.readexactly(length))
+                return status, body
+
+            status, body = await roundtrip(b"{not json")
+            assert status == 400 and "JSON" in body["error"]
+            status, body = await roundtrip(b"[1, 2, 3]")
+            assert status == 400 and "object" in body["error"]
+            writer.close()
+            await writer.wait_closed()
+        finally:
+            await server.stop()
+
+    run(exercise())
+
+
+def test_main_module_boots_and_stops():
+    """python -m repro.service prints its serving line and exits on TERM."""
+    import os
+    import signal
+    import subprocess
+    import sys
+    import urllib.request
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    with subprocess.Popen(
+        [sys.executable, "-m", "repro.service"],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+    ) as proc:
+        try:
+            line = proc.stdout.readline().strip()
+            assert line.startswith("serving on http://127.0.0.1:")
+            url = line.split("serving on ", 1)[1]
+            with urllib.request.urlopen(
+                f"{url}/health", timeout=10
+            ) as response:
+                assert json.loads(response.read())["status"] == "ok"
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=15) == 0
