@@ -407,9 +407,24 @@ class IncrementalResolver(Resolver):
         current index generation, so the next ``stream()`` does not
         discard it and rebuild a second time.
         """
-        self._stream_generation = self._index.generation
-        super().reset()
+        with self._lock:
+            self._check_open()
+            self._stream_generation = self._index.generation
+            super().reset()
         return self
+
+    def next_batch(self, n: int) -> list[Comparison]:
+        """The next ``n`` comparisons of the globally ranked stream.
+
+        Serialized under the session lock like every other operation:
+        the shared emitter generator and the emission bookkeeping
+        (``_emitted``, matched pairs) must not be driven from two
+        threads at once, nor interleave with an ingest rebuilding the
+        live index mid-batch.
+        """
+        with self._lock:
+            self._check_open()
+            return super().next_batch(n)
 
     # -- teardown / persistence -----------------------------------------------
 

@@ -22,6 +22,12 @@ POST   ``/sessions/{name}/stream``        ``{"limit"}`` - next batch of the
 POST   ``/sessions/{name}/snapshot``      ``{"path"?}``
 ====== ================================== ===================================
 
+A client-supplied ``"path"`` (snapshot and restore) is interpreted
+*relative to the configured* ``serve(snapshot_dir=...)`` and must
+resolve inside it - socket clients can never point the process at
+arbitrary filesystem locations.  Free-form paths remain available to
+trusted in-process callers through :class:`SessionManager` directly.
+
 Comparisons travel as ``[i, j, weight]`` triples.  Errors map onto
 status codes by *type*, and the body always carries ``{"error": ...}``
 (:class:`~repro.errors.BudgetExceeded` adds its machine-readable
@@ -43,6 +49,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import json
+import os
 from typing import Any
 
 from repro.core.comparisons import Comparison
@@ -51,6 +58,11 @@ from repro.service.session import SessionManager
 
 #: Largest accepted request body (a blunt guard against unbounded reads).
 MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Caps on the request head (count and total bytes of header lines) -
+#: a client streaming endless headers gets a 400, not unbounded memory.
+MAX_HEADER_COUNT = 100
+MAX_HEADER_BYTES = 64 * 1024
 
 _STATUS_TEXT = {
     200: "OK",
@@ -118,7 +130,9 @@ class ServiceApp:
             if method == "GET":
                 return self.manager.get(name).metrics()
             _require(method, "DELETE")
-            self.manager.delete(name)
+            # delete() blocks on the session's lock until in-flight
+            # resolver work drains - never run it on the event loop.
+            await self.manager.offload(lambda: self.manager.delete(name))
             return {"deleted": name}
         if len(parts) == 3 and parts[0] == "sessions":
             _require(method, "POST")
@@ -129,11 +143,54 @@ class ServiceApp:
         name = body.get("name")
         if not isinstance(name, str):
             raise ConfigError("session creation needs a string 'name'")
+        # Both branches are blocking work (restore reads and rebuilds a
+        # snapshot from disk, create fits the seed batch) - off-load so
+        # the event loop keeps serving other connections meanwhile.
         if body.get("restore"):
-            session = self.manager.restore(name, body.get("path"))
+            path = self._client_path(body.get("path"))
+            session = await self.manager.offload(
+                lambda: self.manager.restore(name, path)
+            )
         else:
-            session = self.manager.create(name, body.get("records"))
+            records = body.get("records")
+            session = await self.manager.offload(
+                lambda: self.manager.create(name, records)
+            )
         return {"created": name, "profiles": len(session.resolver.store)}
+
+    def _client_path(self, path: Any) -> str | None:
+        """Sandbox a client-supplied snapshot path under ``snapshot_dir``.
+
+        The HTTP surface (and the in-process client, which shares this
+        dispatch) treats ``"path"`` as *relative to the configured
+        ``serve(snapshot_dir=...)``*; a path that resolves outside that
+        directory - absolute, ``..``-climbing or via symlink - is
+        rejected, so a socket client can never make the process read or
+        write snapshot data at arbitrary filesystem locations.  Trusted
+        in-process callers that need free-form paths use
+        :class:`~repro.service.session.SessionManager` directly.
+        """
+        if path is None:
+            return None
+        if not isinstance(path, str) or not path:
+            raise ConfigError("'path' must be a non-empty string")
+        root = self.manager.config.snapshot_dir
+        if root is None:
+            raise ConfigError(
+                "client-supplied snapshot paths need a configured "
+                "serve(snapshot_dir=...) to resolve against - omit "
+                "'path' or configure a snapshot_dir"
+            )
+        root_real = os.path.realpath(root)
+        resolved = os.path.realpath(os.path.join(root_real, path))
+        if resolved != root_real and not resolved.startswith(
+            root_real + os.sep
+        ):
+            raise ConfigError(
+                f"snapshot path {path!r} escapes the service snapshot "
+                "directory"
+            )
+        return resolved
 
     async def _operate(
         self, name: str, action: str, body: dict[str, Any]
@@ -158,12 +215,16 @@ class ServiceApp:
             batch = await session.stream(limit)
             return {"comparisons": _triples(batch)}
         if action == "snapshot":
-            return await session.snapshot(body.get("path"))
+            return await session.snapshot(self._client_path(body.get("path")))
         raise KeyError(f"no session action {action!r}")
 
 
 class _MethodNotAllowed(Exception):
     pass
+
+
+class _BadRequest(Exception):
+    """Malformed request framing (answered with a 400, then close)."""
 
 
 def _require(method: str, expected: str) -> None:
@@ -228,7 +289,15 @@ class ServiceServer:
     ) -> None:
         try:
             while True:
-                request = await self._read_request(reader)
+                try:
+                    request = await self._read_request(reader)
+                except _BadRequest as exc:
+                    # Malformed framing: answer 400 and drop the
+                    # connection (request boundaries are lost).
+                    await self._write_response(
+                        writer, 400, {"error": str(exc)}, keep_alive=False
+                    )
+                    break
                 if request is None:
                     break
                 method, path, headers, payload = request
@@ -274,6 +343,9 @@ class ServiceServer:
             line = await reader.readline()
         except (ConnectionError, asyncio.IncompleteReadError):
             return None
+        except ValueError:
+            # The StreamReader limit tripped: request line too long.
+            raise _BadRequest("request line too long") from None
         if not line.strip():
             return None
         try:
@@ -281,15 +353,33 @@ class ServiceServer:
         except ValueError:
             return None
         headers: dict[str, str] = {}
+        header_bytes = 0
         while True:
-            raw = await reader.readline()
+            try:
+                raw = await reader.readline()
+            except ValueError:
+                raise _BadRequest("header line too long") from None
             if raw in (b"\r\n", b"\n", b""):
                 break
+            header_bytes += len(raw)
+            if (
+                len(headers) >= MAX_HEADER_COUNT
+                or header_bytes > MAX_HEADER_BYTES
+            ):
+                raise _BadRequest("too many request headers")
             key, _, value = raw.decode("latin1").partition(":")
             headers[key.strip().lower()] = value.strip()
         # Strip any query string: routes are path-only, bodies are JSON.
         path = target.split("?", 1)[0]
-        length = int(headers.get("content-length", "0") or "0")
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            raise _BadRequest(
+                f"invalid Content-Length "
+                f"{headers.get('content-length')!r}"
+            ) from None
+        if length < 0:
+            raise _BadRequest(f"invalid Content-Length {length!r}")
         if length > MAX_BODY_BYTES:
             # Cannot skip the oversized body without reading it; answer
             # 413 and drop the connection (framing is lost anyway).

@@ -342,11 +342,25 @@ class SessionManager:
         assert service is not None
         self.config: ServiceConfig = service
         self._sessions: dict[str, ServiceSession] = {}
+        #: Guards the session registry: lifecycle operations may run on
+        #: pool threads (the HTTP front-end off-loads them) while reads
+        #: happen on the event loop.
+        self._registry_lock = threading.Lock()
         self._executor = ThreadPoolExecutor(
             max_workers=max_threads or min(8, (os.cpu_count() or 1) + 2),
             thread_name_prefix="repro-service",
         )
         self._closed = False
+
+    async def offload(self, work: Callable[[], _T]) -> _T:
+        """Run blocking ``work`` on the manager's thread pool.
+
+        The seam the HTTP front-end uses for lifecycle operations
+        (create's seed ``fit``, restore's disk load, delete's
+        lock-acquiring ``close``) so they never stall the event loop.
+        """
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._executor, work)
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -361,8 +375,7 @@ class SessionManager:
         resolver = self.pipeline.fit(list(records or []))
         assert isinstance(resolver, IncrementalResolver)
         session = ServiceSession(name, resolver, self.config, self._executor)
-        self._sessions[name] = session
-        return session
+        return self._register(name, session)
 
     def restore(self, name: str, path: str | None = None) -> ServiceSession:
         """Rebuild a named session from a snapshot directory.
@@ -386,8 +399,18 @@ class SessionManager:
             path = os.path.join(self.config.snapshot_dir, name)
         resolver = IncrementalResolver.load(path)
         session = ServiceSession(name, resolver, self.config, self._executor)
-        self._sessions[name] = session
-        return session
+        return self._register(name, session)
+
+    def _register(self, name: str, session: ServiceSession) -> ServiceSession:
+        """Atomically claim ``name``; the loser of a race is closed."""
+        with self._registry_lock:
+            if not self._closed and name not in self._sessions:
+                self._sessions[name] = session
+                return session
+        session.close()
+        if self._closed:
+            raise SessionClosed("this SessionManager is closed")
+        raise ConfigError(f"session {name!r} already exists")
 
     def get(self, name: str) -> ServiceSession:
         """The named session (:class:`KeyError` when unknown)."""
@@ -402,8 +425,15 @@ class SessionManager:
 
     def delete(self, name: str) -> None:
         """Close and forget the named session."""
-        self.get(name).close()
-        del self._sessions[name]
+        self._check_open()
+        with self._registry_lock:
+            try:
+                session = self._sessions.pop(name)
+            except KeyError:
+                raise KeyError(f"no session named {name!r}") from None
+        # Close outside the registry lock: it waits for the session's
+        # in-flight resolver work and must not block other lifecycle ops.
+        session.close()
 
     def metrics(self) -> dict[str, Any]:
         """Service-wide metrics: per-session views plus totals."""
@@ -431,12 +461,14 @@ class SessionManager:
 
     def close(self) -> None:
         """Close every session and the shared pool (idempotent)."""
-        if self._closed:
-            return
-        self._closed = True
-        for session in self._sessions.values():
+        with self._registry_lock:
+            if self._closed:
+                return
+            self._closed = True
+            doomed = list(self._sessions.values())
+            self._sessions.clear()
+        for session in doomed:
             session.close()
-        self._sessions.clear()
         self._executor.shutdown(wait=True)
 
     def __enter__(self) -> "SessionManager":

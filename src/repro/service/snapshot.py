@@ -32,6 +32,7 @@ corpus, like ``reset()`` on the original.
 from __future__ import annotations
 
 import ast
+import contextlib
 import json
 import os
 import struct
@@ -184,11 +185,18 @@ def save_session(resolver: "IncrementalResolver", path: str) -> str:
 
     Called through :meth:`IncrementalResolver.save` (which holds the
     session lock, so the state written is a consistent cut).  Existing
-    snapshot files at ``path`` are overwritten; the manifest is written
-    last, so a directory with a readable manifest is always a complete
-    snapshot.
+    snapshot files at ``path`` are overwritten; any previous manifest is
+    removed *first* and the new one is written last (atomically), so a
+    directory with a readable manifest is always a complete snapshot -
+    a save torn by a crash leaves no manifest, never a stale one over
+    mixed old/new data files.
     """
     os.makedirs(path, exist_ok=True)
+    with contextlib.suppress(FileNotFoundError):
+        # Invalidate the old snapshot before touching its data files: a
+        # crash mid-save must not leave the previous (valid-looking)
+        # manifest describing a hybrid of old and new files.
+        os.remove(os.path.join(path, MANIFEST))
     store = resolver.store
     with open(os.path.join(path, PROFILES), "w") as handle:
         for profile in store:

@@ -24,7 +24,8 @@ def run(coro):
 
 
 @pytest.fixture()
-def manager(pipeline):
+def manager(tmp_path):
+    pipeline = service_pipeline(snapshot_dir=str(tmp_path / "snapshots"))
     with SessionManager(pipeline) as live:
         yield live
 
@@ -124,7 +125,7 @@ def test_in_process_client_raises_typed_errors(manager):
     run(exercise())
 
 
-def test_in_process_client_full_lifecycle(manager, tmp_path):
+def test_in_process_client_full_lifecycle(manager):
     client = InProcessClient(manager)
 
     async def exercise():
@@ -136,11 +137,12 @@ def test_in_process_client_full_lifecycle(manager, tmp_path):
         assert scored[0]
         batch = await client.stream("s", limit=3)
         assert len(batch) == 3
-        manifest = await client.snapshot("s", str(tmp_path / "s"))
+        # Client paths are relative to the service snapshot_dir.
+        manifest = await client.snapshot("s", "saved/s")
         assert manifest["profiles"] == len(RECORDS)
         assert (await client.session_metrics("s"))["probes"] == 1
         await client.delete_session("s")
-        restored = await client.restore_session("s", str(tmp_path / "s"))
+        restored = await client.restore_session("s", "saved/s")
         assert restored["profiles"] == len(RECORDS)
         assert await client.sessions() == ["s"]
         assert (await client.metrics())["session_count"] == 1
@@ -148,10 +150,54 @@ def test_in_process_client_full_lifecycle(manager, tmp_path):
     run(exercise())
 
 
+def test_client_snapshot_paths_are_sandboxed(manager, tmp_path):
+    """A socket-reachable 'path' must resolve inside snapshot_dir."""
+    app = ServiceApp(manager)
+
+    async def exercise():
+        await app.handle("POST", "/sessions", {"name": "s",
+                                               "records": RECORDS})
+        for path in ["../evil", str(tmp_path / "outside"), "a/../../b", ""]:
+            status, body = await app.handle(
+                "POST", "/sessions/s/snapshot", {"path": path}
+            )
+            assert status == 400, (path, body)
+            status, body = await app.handle(
+                "POST", "/sessions",
+                {"name": "r", "restore": True, "path": path},
+            )
+            assert status == 400, (path, body)
+        # Absolute paths *inside* the snapshot_dir stay accepted (the
+        # benchmark drives restore that way).
+        inside = str(tmp_path / "snapshots" / "s")
+        status, body = await app.handle(
+            "POST", "/sessions/s/snapshot", {"path": inside}
+        )
+        assert status == 200, body
+
+    run(exercise())
+
+
+def test_client_paths_require_a_snapshot_dir(pipeline):
+    """No snapshot_dir configured -> client-supplied paths are refused."""
+    with SessionManager(pipeline) as bare:
+        app = ServiceApp(bare)
+
+        async def exercise():
+            await app.handle("POST", "/sessions", {"name": "s",
+                                                   "records": RECORDS})
+            status, body = await app.handle(
+                "POST", "/sessions/s/snapshot", {"path": "anywhere"}
+            )
+            assert status == 400 and "snapshot_dir" in body["error"]
+
+        run(exercise())
+
+
 # -- the served socket ---------------------------------------------------------
 
 
-def test_http_client_against_real_server(manager, tmp_path):
+def test_http_client_against_real_server(manager):
     async def exercise():
         server = await ServiceServer(manager).start()
         try:
@@ -161,7 +207,7 @@ def test_http_client_against_real_server(manager, tmp_path):
                 assert emitted
                 scored = await client.probe("s", [PROBE, PROBE])
                 assert len(scored) == 2 and scored[0] == scored[1]
-                manifest = await client.snapshot("s", str(tmp_path / "s"))
+                manifest = await client.snapshot("s", "s")
                 assert manifest["profiles"] == len(RECORDS)
                 # keep-alive: many calls over one connection
                 for _ in range(5):
@@ -244,6 +290,48 @@ def test_raw_protocol_edges(manager):
             assert status == 400 and "object" in body["error"]
             writer.close()
             await writer.wait_closed()
+        finally:
+            await server.stop()
+
+    run(exercise())
+
+
+def test_malformed_framing_answers_400_and_closes(manager):
+    """Bad Content-Length and header floods get a 400, not a dead task."""
+
+    async def send_raw(port: int, head: bytes) -> tuple[int, bytes]:
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        try:
+            writer.write(head)
+            await writer.drain()
+            status_line = await reader.readline()
+            assert status_line, "connection died without a response"
+            status = int(status_line.split()[1])
+            rest = await reader.read()  # server closes after a 400
+            return status, rest
+        finally:
+            writer.close()
+            await writer.wait_closed()
+
+    async def exercise():
+        server = await ServiceServer(manager).start()
+        try:
+            port = server.port
+            status, _ = await send_raw(
+                port, b"GET /health HTTP/1.1\r\nContent-Length: abc\r\n\r\n"
+            )
+            assert status == 400
+            status, _ = await send_raw(
+                port, b"GET /health HTTP/1.1\r\nContent-Length: -5\r\n\r\n"
+            )
+            assert status == 400
+            flood = b"".join(
+                b"X-Junk-%d: filler\r\n" % i for i in range(200)
+            )
+            status, _ = await send_raw(
+                port, b"GET /health HTTP/1.1\r\n" + flood + b"\r\n"
+            )
+            assert status == 400
         finally:
             await server.stop()
 

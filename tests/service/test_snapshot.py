@@ -108,6 +108,32 @@ def test_save_returns_path_and_overwrites(tmp_path):
     assert read_manifest(path)["profiles"] == len(RECORDS) + 1
 
 
+def test_torn_resave_leaves_no_stale_manifest(tmp_path, monkeypatch):
+    """A crash mid-overwrite must not leave the old manifest describing
+    a mix of old and new data files: the old manifest goes first, the
+    new one lands last (atomically)."""
+    import repro.service.snapshot as snapshot_module
+
+    session = fitted("python")
+    path = str(tmp_path / "s")
+    session.save(path)
+    assert read_manifest(path)["profiles"] == len(RECORDS)
+
+    def crash(*args, **kwargs):
+        raise OSError("disk full")
+
+    monkeypatch.setattr(snapshot_module, "_write_arrays", crash)
+    session.add_profiles([{"name": "carla white", "city": "ny"}])
+    with pytest.raises(OSError, match="disk full"):
+        session.save(path)
+    # The torn save is detectably incomplete, not silently hybrid.
+    with pytest.raises(ValueError, match="not a session snapshot"):
+        read_manifest(path)
+    monkeypatch.undo()
+    session.save(path)  # a clean retry heals the snapshot
+    assert read_manifest(path)["profiles"] == len(RECORDS) + 1
+
+
 def test_read_manifest_rejects_non_snapshots(tmp_path):
     with pytest.raises(ValueError, match="not a session snapshot"):
         read_manifest(str(tmp_path))
