@@ -9,7 +9,11 @@ comparison budget.  Reports:
 * Figure 13e: initialization times.
 
 As in the paper, match *decisions* come from the ground truth while the
-similarity computation is executed and paid for (Section 7.3).
+similarity computation is executed and paid for (Section 7.3).  The paid
+cost is routed through :func:`~repro.evaluation.timing.cascade_cost_model`
+- the cascade's exact tier short-circuits normalized-equal pairs before
+the expensive similarity runs; each run asserts the oracle-decision
+counts are unchanged against the unrouted cost model.
 """
 
 from __future__ import annotations
@@ -18,7 +22,7 @@ import pytest
 
 from benchmarks._shared import dataset, emit, make_method
 from repro.evaluation.report import format_table
-from repro.evaluation.timing import timed_run
+from repro.evaluation.timing import cascade_cost_model, timed_run
 from repro.matching.match_functions import (
     EditDistanceMatcher,
     JaccardMatcher,
@@ -35,18 +39,32 @@ def run_matrix(dataset_name: str, matcher_name: str) -> list[list[object]]:
     budget = min(BUDGET_CAP, 2 * len(data.ground_truth))
     rows = []
     for method_name in METHODS:
-        method = make_method(method_name, data)
+        baseline = timed_run(
+            make_method(method_name, data),
+            data.ground_truth,
+            data.store,
+            OracleMatcher(
+                data.ground_truth, cost_model=MATCHERS[matcher_name]()
+            ),
+            max_comparisons=budget,
+            checkpoint_every=25,
+        )
         matcher = OracleMatcher(
-            data.ground_truth, cost_model=MATCHERS[matcher_name]()
+            data.ground_truth,
+            cost_model=cascade_cost_model(MATCHERS[matcher_name]()),
         )
         result = timed_run(
-            method,
+            make_method(method_name, data),
             data.ground_truth,
             data.store,
             matcher,
             max_comparisons=budget,
             checkpoint_every=25,
         )
+        # Oracle decisions are ground-truth driven: the cascade routing
+        # changes what is *paid*, never what is *decided*.
+        assert result.emitted == baseline.emitted
+        assert result.matches_found == baseline.matches_found
         total_emission = result.comparison_seconds * result.emitted
         rows.append(
             [

@@ -101,10 +101,14 @@ from repro.incremental import (
     MutableProfileStore,
     OnlineRanked,
 )
+from repro.evaluation.metrics import DecisionQuality, decision_quality
 from repro.matching import (
     EditDistanceMatcher,
+    ExactMatcher,
     JaccardMatcher,
+    MatcherCascade,
     OracleMatcher,
+    TierDecision,
     available_matchers,
     jaccard,
     levenshtein,
@@ -115,8 +119,11 @@ from repro.neighborlist import NeighborList, PositionIndex, RCFWeighting
 from repro.pipeline import (
     BlockingConfig,
     BudgetConfig,
+    DecisionRecord,
     ERPipeline,
+    EvaluationReport,
     IncrementalConfig,
+    MatchConfig,
     MatcherConfig,
     MetaBlockingConfig,
     MethodConfig,
@@ -143,7 +150,7 @@ from repro.progressive import (
 )
 from repro.registry import ComponentRegistry, get_registry
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     # pipeline API
@@ -152,11 +159,14 @@ __all__ = [
     "ResolverProgress",
     "ResolutionResult",
     "resolve",
+    "DecisionRecord",
+    "EvaluationReport",
     "PipelineConfig",
     "BlockingConfig",
     "MetaBlockingConfig",
     "MethodConfig",
     "MatcherConfig",
+    "MatchConfig",
     "BudgetConfig",
     "IncrementalConfig",
     "ParallelConfig",
@@ -216,12 +226,17 @@ __all__ = [
     "PPS",
     # matching
     "EditDistanceMatcher",
+    "ExactMatcher",
     "JaccardMatcher",
+    "MatcherCascade",
     "OracleMatcher",
+    "TierDecision",
     "available_matchers",
     "make_matcher",
     "jaccard",
     "levenshtein",
+    "DecisionQuality",
+    "decision_quality",
     # datasets
     "Dataset",
     "list_datasets",

@@ -97,6 +97,7 @@ class ArraySubstrate:
             tuple[np.ndarray, np.ndarray, list[str], np.ndarray] | None
         ) = None
         self._sources_arr: np.ndarray | None = None
+        self._token_rows: tuple[np.ndarray, np.ndarray] | None = None
         self._indexes: dict[str, ArrayProfileIndex] = {}
         self._neighbor_lists: dict[tuple[str, int | None], "NeighborList"] = {}
         self._blocks: "BlockCollection | None" = None
@@ -175,6 +176,33 @@ class ArraySubstrate:
                 count=len(self.store),
             )
         return self._sources_arr
+
+    def token_rows(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-profile distinct token ids as a CSR, rows id-sorted.
+
+        Served from the cached sweep - no re-tokenization: row ``p``
+        holds profile ``p``'s distinct interned token ids in ascending
+        id order.  Same string set <=> same id set, so this is exactly
+        the set view the batched cascade tiers (normalized equality,
+        Jaccard) compare.
+        """
+        if self._token_rows is None:
+            self._sweep()
+            assert (
+                self._pair_tokens is not None
+                and self._pair_profiles is not None
+            )
+            n = len(self.store)
+            counts = np.bincount(
+                np.asarray(self._pair_profiles), minlength=n
+            )
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            order = np.lexsort(
+                (np.asarray(self._pair_tokens), np.asarray(self._pair_profiles))
+            )
+            self._token_rows = (indptr, np.asarray(self._pair_tokens)[order])
+        return self._token_rows
 
     # -- CSR postings over all tokens --------------------------------------
 

@@ -1,4 +1,4 @@
-"""Batch blocking-quality metrics (used by the workflow ablations).
+"""Batch blocking-quality and decision-quality metrics.
 
 Standard vocabulary from the blocking literature [19]:
 
@@ -8,11 +8,17 @@ Standard vocabulary from the blocking literature [19]:
   fraction of distinct candidate pairs that are true matches;
 * **RR** (reduction ratio) - fraction of the brute-force comparison
   space the blocking avoids.
+
+PC/PQ grade the *candidate generation*; with the matching cascade the
+pipeline also takes decisions, graded by the classic precision / recall
+/ F1 over predicted match pairs (:class:`DecisionQuality`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections.abc import Iterable, Mapping
+
+from dataclasses import dataclass, field
 
 from repro.blocking.base import BlockCollection
 from repro.core.ground_truth import GroundTruth
@@ -34,6 +40,67 @@ class BlockingQuality:
             f"RR={self.reduction_ratio:.3f} "
             f"(|pairs|={self.candidate_pairs}, ||B||={self.aggregate_cardinality})"
         )
+
+
+@dataclass(frozen=True)
+class DecisionQuality:
+    """Precision / recall / F1 of a set of match decisions.
+
+    ``decided`` is how many comparisons received a decision (matches and
+    non-matches); ``by_tier`` maps cascade tier names to how many of
+    those each tier decided (empty for a single-matcher run).
+    """
+
+    precision: float
+    recall: float
+    f1: float
+    predicted_matches: int
+    true_positives: int
+    total_matches: int
+    decided: int
+    by_tier: dict[str, int] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return (
+            f"P={self.precision:.3f} R={self.recall:.3f} F1={self.f1:.3f} "
+            f"(TP={self.true_positives}, predicted={self.predicted_matches}, "
+            f"truth={self.total_matches})"
+        )
+
+
+def decision_quality(
+    predicted: Iterable[tuple[int, int]],
+    ground_truth: GroundTruth,
+    decided: int | None = None,
+    by_tier: Mapping[str, int] | None = None,
+) -> DecisionQuality:
+    """Grade predicted match pairs against a ground truth.
+
+    ``predicted`` holds canonical ``(i, j)`` pairs (``i < j``).  With no
+    predictions, precision is 0.0 by convention.
+    """
+    pairs = set(predicted)
+    true_positives = sum(
+        1 for pair in pairs if ground_truth.is_match(*pair)  # repro-analyze: ignore[determinism] pure count, order-independent
+    )
+    total = len(ground_truth)
+    precision = true_positives / len(pairs) if pairs else 0.0
+    recall = true_positives / total if total else 0.0
+    f1 = (
+        2.0 * precision * recall / (precision + recall)
+        if precision + recall > 0
+        else 0.0
+    )
+    return DecisionQuality(
+        precision=precision,
+        recall=recall,
+        f1=f1,
+        predicted_matches=len(pairs),
+        true_positives=true_positives,
+        total_matches=total,
+        decided=len(pairs) if decided is None else decided,
+        by_tier=dict(by_tier or {}),
+    )
 
 
 def evaluate_blocking(

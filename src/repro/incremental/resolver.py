@@ -43,7 +43,7 @@ from repro.errors import ConfigError
 from repro.incremental.index import IncrementalTokenIndex
 from repro.incremental.store import MutableProfileStore
 from repro.incremental.weights import IncrementalWeighter
-from repro.pipeline.resolver import Resolver
+from repro.pipeline.resolver import DecisionRecord, Resolver
 from repro.progressive.base import ProgressiveMethod
 from repro.registry import backends
 
@@ -243,7 +243,8 @@ class IncrementalResolver(Resolver):
         item: "EntityProfile | Mapping[str, object] | Iterable[tuple[str, object]]",
         source: int | None = None,
         ingest: bool = True,
-    ) -> list[Comparison]:
+        decide: bool = False,
+    ) -> "list[Comparison] | list[DecisionRecord]":
         """Resolve a single record against the current corpus.
 
         With ``ingest=True`` (default) the record joins the corpus and
@@ -252,20 +253,84 @@ class IncrementalResolver(Resolver):
         read-only probe: the record is scored with exact as-if-ingested
         statistics (the index is temporarily updated and rolled back),
         nothing is stored, emitted or counted against budgets.
+
+        ``decide=True`` additionally routes every returned comparison
+        through the session's matching cascade and returns
+        :class:`~repro.pipeline.resolver.DecisionRecord` tuples instead
+        of bare comparisons (requires a ``.match(...)`` or
+        ``.matcher(...)`` stage).  Ingested decisions join the session's
+        confirmed matches; probe decisions stay read-only (only the
+        cascade's tier counters advance).  In a served session a spent
+        expensive-tier call budget raises
+        :class:`~repro.errors.BudgetExceeded` (reason
+        ``"expensive-calls"``).
         """
+        cascade = self._decision_cascade() if decide else None
         if ingest:
-            return self.add_profiles(
+            emitted = self.add_profiles(
                 [item], sources=None if source is None else [source]
             )
+            if not decide:
+                return emitted
+            with self._lock:
+                return self._decide_emitted(emitted, cascade)
         # The pure-Python weighter scores probes on every backend: a
         # single profile's candidates do not amortize an array refresh
         # that would be rolled back right after (weights are
         # bit-identical across scorers by construction).
         with self._lock:
             self._check_open()
-            return score_probe(
-                self._index, self._weighter, self._coerce_probe(item, source)
+            probe = self._coerce_probe(item, source)
+            scored = score_probe(self._index, self._weighter, probe)
+            if not decide:
+                return scored
+            return self._decide_probe(scored, probe, cascade)
+
+    def _decide_emitted(
+        self, emitted: list[Comparison], cascade
+    ) -> list[DecisionRecord]:
+        """Decide ingested emissions; matches join the session state."""
+        records: list[DecisionRecord] = []
+        for comparison in emitted:
+            verdict = cascade.decide(
+                self.store[comparison.i], self.store[comparison.j]
             )
+            self._decided += 1
+            if verdict.is_match:
+                self._matched_pairs.add(comparison.pair)
+            records.append(
+                DecisionRecord(
+                    comparison, verdict.is_match, verdict.tier,
+                    verdict.similarity,
+                )
+            )
+        return records
+
+    def _decide_probe(
+        self, scored: list[Comparison], probe: EntityProfile, cascade
+    ) -> list[DecisionRecord]:
+        """Decide probe pairs read-only (the probe is not in the store)."""
+        records: list[DecisionRecord] = []
+        probe_id = probe.profile_id
+        for comparison in scored:
+            a = (
+                probe
+                if comparison.i == probe_id
+                else self.store[comparison.i]
+            )
+            b = (
+                probe
+                if comparison.j == probe_id
+                else self.store[comparison.j]
+            )
+            verdict = cascade.decide(a, b)
+            records.append(
+                DecisionRecord(
+                    comparison, verdict.is_match, verdict.tier,
+                    verdict.similarity,
+                )
+            )
+        return records
 
     def resolve_many(
         self,
@@ -274,7 +339,8 @@ class IncrementalResolver(Resolver):
         ],
         sources: Iterable[int] | None = None,
         workers: int | None = None,
-    ) -> list[list[Comparison]]:
+        decide: bool = False,
+    ) -> "list[list[Comparison]] | list[list[DecisionRecord]]":
         """Read-only probes for a whole batch, optionally fanned across
         a worker pool.
 
@@ -291,6 +357,12 @@ class IncrementalResolver(Resolver):
         listener-free snapshot of the live token index once per call
         and score chunks of probes independently - probes never mutate
         the session's own index.
+
+        ``decide=True`` routes every scored pair through the session's
+        matching cascade (scoring still fans out; decisions run
+        sequentially in-process, so the cascade's tier counters and any
+        expensive-tier call budget stay exact) and returns lists of
+        :class:`~repro.pipeline.resolver.DecisionRecord`.
         """
         if workers is None:
             spec = self.config.parallel
@@ -311,6 +383,7 @@ class IncrementalResolver(Resolver):
             )
         with self._lock:
             self._check_open()
+            cascade = self._decision_cascade() if decide else None
             probes = [
                 self._coerce_probe(
                     item, None if source_list is None else source_list[position]
@@ -319,23 +392,37 @@ class IncrementalResolver(Resolver):
             ]
             if workers < 2 or len(probes) <= 1:
                 # Sequential (and numpy-free) fast path.
-                return [
+                scored_lists = [
                     score_probe(self._index, self._weighter, probe)
                     for probe in probes
                 ]
-            from repro.parallel.plan import ShardPlan
-            from repro.parallel.pool import WorkerPool
-            from repro.parallel.tasks import probe_score_task
+            else:
+                from repro.parallel.plan import ShardPlan
+                from repro.parallel.pool import WorkerPool
+                from repro.parallel.tasks import probe_score_task
 
-            pool = WorkerPool(workers)
-            try:
-                plan = ShardPlan.uniform(len(probes), min(workers, len(probes)))
-                chunks = [probes[lo:hi] for lo, hi in plan.ranges()]
-                payload = {"index": self._index, "weighter": self._weighter}
-                results = pool.run(probe_score_task, payload, chunks)
-            finally:
-                pool.close()
-            return [scored for chunk in results for scored in chunk]
+                pool = WorkerPool(workers)
+                try:
+                    plan = ShardPlan.uniform(
+                        len(probes), min(workers, len(probes))
+                    )
+                    chunks = [probes[lo:hi] for lo, hi in plan.ranges()]
+                    payload = {
+                        "index": self._index,
+                        "weighter": self._weighter,
+                    }
+                    results = pool.run(probe_score_task, payload, chunks)
+                finally:
+                    pool.close()
+                scored_lists = [
+                    scored for chunk in results for scored in chunk
+                ]
+            if not decide:
+                return scored_lists
+            return [
+                self._decide_probe(scored, probe, cascade)
+                for scored, probe in zip(scored_lists, probes)
+            ]
 
     def _coerce_probe(
         self,

@@ -1,9 +1,17 @@
-"""Match functions and string similarity primitives."""
+"""Match functions, string similarity primitives, and the decision cascade."""
 
+from repro.matching.cascade import (
+    DEFAULT_TIERS,
+    CascadeTier,
+    MatcherCascade,
+    TierDecision,
+    TierStats,
+)
 from repro.matching.edit_distance import edit_similarity, levenshtein
 from repro.matching.jaccard import jaccard, jaccard_strings
 from repro.matching.match_functions import (
     EditDistanceMatcher,
+    ExactMatcher,
     JaccardMatcher,
     MatchFunction,
     OracleMatcher,
@@ -16,10 +24,16 @@ __all__ = [
     "levenshtein",
     "jaccard",
     "jaccard_strings",
+    "CascadeTier",
+    "DEFAULT_TIERS",
     "EditDistanceMatcher",
+    "ExactMatcher",
     "JaccardMatcher",
     "MatchFunction",
+    "MatcherCascade",
     "OracleMatcher",
+    "TierDecision",
+    "TierStats",
     "available_matchers",
     "make_matcher",
 ]

@@ -320,6 +320,23 @@ def pps_schedule_task(
     return i, j, weight[selected]
 
 
+def cascade_pairs_task(
+    payload: dict[str, Any], chunk: tuple[np.ndarray, np.ndarray]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Tier-0/tier-1 overlap algebra of one contiguous pair shard.
+
+    The restriction of :func:`repro.engine.matching.pair_overlap` to one
+    slice of the batch's (left, right) profile-id arrays; the payload
+    carries the session's per-profile token-row CSR (shipped once per
+    pool).  Pairs are independent events, so concatenating shard outputs
+    in plan order reproduces the sequential arrays exactly.
+    """
+    from repro.engine.matching import pair_overlap
+
+    left, right = chunk
+    return pair_overlap(payload["indptr"], payload["tokens"], left, right)
+
+
 def probe_score_task(payload: dict[str, Any], chunk: list[Any]) -> list[Any]:
     """Score a chunk of read-only probes against a shipped live index.
 

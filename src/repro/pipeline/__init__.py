@@ -12,6 +12,7 @@ from repro.pipeline.config import (
     BlockingConfig,
     BudgetConfig,
     IncrementalConfig,
+    MatchConfig,
     MatcherConfig,
     MetaBlockingConfig,
     MethodConfig,
@@ -21,7 +22,12 @@ from repro.pipeline.config import (
     StorageConfig,
 )
 from repro.pipeline.facade import ResolutionResult, resolve
-from repro.pipeline.resolver import Resolver, ResolverProgress
+from repro.pipeline.resolver import (
+    DecisionRecord,
+    EvaluationReport,
+    Resolver,
+    ResolverProgress,
+)
 
 __all__ = [
     "ERPipeline",
@@ -29,11 +35,14 @@ __all__ = [
     "ResolverProgress",
     "ResolutionResult",
     "resolve",
+    "DecisionRecord",
+    "EvaluationReport",
     "PipelineConfig",
     "BlockingConfig",
     "MetaBlockingConfig",
     "MethodConfig",
     "MatcherConfig",
+    "MatchConfig",
     "BudgetConfig",
     "IncrementalConfig",
     "ParallelConfig",

@@ -154,12 +154,90 @@ class ERPipeline:
 
     def matcher(self, name: str = "jaccard", **params: Any) -> "ERPipeline":
         """Attach a match function applied to every streamed pair."""
+        if self._config.match is not None:
+            raise ConfigError(
+                "a .match(...) cascade stage is already configured; it owns "
+                "the match decision - drop one of the two (.no_match() "
+                "removes the cascade stage)"
+            )
         self._config.matcher = MatcherConfig(name=name, params=params)
         return self
 
     def no_matcher(self) -> "ERPipeline":
         """Drop the matcher stage (stream pairs without deciding them)."""
         self._config.matcher = None
+        return self
+
+    def match(
+        self,
+        cascade: Any = None,
+        *,
+        thresholds: Mapping[str, Any] | None = None,
+        expensive: Any = None,
+        expensive_budget: int | None = None,
+        params: Mapping[str, Mapping[str, Any]] | None = None,
+        enabled: bool = True,
+    ) -> "ERPipeline":
+        """Attach the decision cascade applied to emitted pairs.
+
+        ``cascade`` is the escalation order: ``None`` for the stock
+        ``exact -> jaccard -> edit-distance`` tiers, a single registry
+        name or :class:`~repro.matching.MatchFunction` for a one-tier
+        cascade, or a sequence mixing both.  ``thresholds`` maps tier
+        names to a float (the tier decides everything at that
+        threshold) or a ``(reject, accept)`` confidence band;
+        ``expensive``/``expensive_budget`` add the optional final
+        arbiter behind a call budget; ``params`` are per-tier
+        constructor kwargs.  ``enabled=False`` removes the stage.
+
+        With a match stage, :meth:`~repro.pipeline.resolver.Resolver.decisions`
+        / ``resolve_stream(decide=True)`` yield per-comparison decision
+        records and ``clusters()`` returns the transitive closure.  The
+        stage owns the match decision, so it is mutually exclusive with
+        the single-matcher :meth:`matcher` stage.
+
+        >>> from repro import ERPipeline
+        >>> spec = ERPipeline().match(thresholds={"jaccard": (0.2, 0.9)})
+        >>> spec.to_dict()["match"]["tiers"]
+        ['exact', 'jaccard', 'edit-distance']
+        """
+        from repro.matching.match_functions import MatchFunction
+        from repro.pipeline.config import MatchConfig
+
+        if not enabled:
+            self._config.match = None
+            return self
+        if cascade is None:
+            tiers: tuple[Any, ...] = ("exact", "jaccard", "edit-distance")
+        elif isinstance(cascade, (str, MatchFunction)):
+            tiers = (cascade,)
+        elif isinstance(cascade, Iterable):
+            tiers = tuple(cascade)
+        else:
+            raise ConfigError(
+                "cascade must be None, a matcher name, a MatchFunction or "
+                f"a sequence of tiers, got {cascade!r}"
+            )
+        if self._config.matcher is not None:
+            raise ConfigError(
+                "a .matcher(...) stage is already configured; the cascade "
+                "stage owns the match decision - drop one of the two "
+                "(.no_matcher() removes the matcher stage)"
+            )
+        self._config.match = MatchConfig(
+            tiers=tiers,
+            thresholds=dict(thresholds or {}),
+            expensive=expensive,
+            expensive_budget=expensive_budget,
+            params={
+                name: dict(value) for name, value in (params or {}).items()
+            },
+        )
+        return self
+
+    def no_match(self) -> "ERPipeline":
+        """Drop the cascade stage (stream pairs without deciding them)."""
+        self._config.match = None
         return self
 
     def budget(
@@ -472,6 +550,18 @@ def _snapshot(config: PipelineConfig) -> PipelineConfig:
         meta=_copy_params(config.meta),
         method=_copy_params(config.method),
         matcher=None if config.matcher is None else _copy_params(config.matcher),
+        match=(
+            None
+            if config.match is None
+            else dataclasses.replace(
+                config.match,
+                thresholds=dict(config.match.thresholds),
+                params={
+                    name: dict(value)
+                    for name, value in config.match.params.items()
+                },
+            )
+        ),
         budget=dataclasses.replace(config.budget),
         backend=config.backend,
         incremental=(

@@ -152,6 +152,145 @@ class MatcherConfig:
 
 
 @dataclass
+class MatchConfig:
+    """Stage 5 (optional): the decision cascade applied to emitted pairs.
+
+    Describes a :class:`~repro.matching.cascade.MatcherCascade`: the
+    ordered ``tiers`` (registry names, or live
+    :class:`~repro.matching.MatchFunction` instances for custom tiers),
+    per-tier ``thresholds`` (a float collapses the band, a
+    ``(reject, accept)`` pair sets the undecided margin), the optional
+    ``expensive`` hook (a registry name, a match function, or any
+    ``(a, b) -> float`` callable) with its call ``expensive_budget``,
+    and per-tier constructor ``params``.
+
+    Instance tiers and callable hooks make the spec non-JSON-able (the
+    same trade-off as a PSN ``key_function``); name-based specs
+    round-trip through ``to_dict``/``from_dict`` unchanged.
+    """
+
+    tiers: tuple[Any, ...] = ("exact", "jaccard", "edit-distance")
+    thresholds: dict[str, Any] = field(default_factory=dict)
+    expensive: Any = None
+    expensive_budget: int | None = None
+    params: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        from repro.matching.cascade import _coerce_threshold
+        from repro.matching.match_functions import MatchFunction
+
+        resolved: list[Any] = []
+        names: list[str] = []
+        for tier in tuple(self.tiers):
+            if isinstance(tier, str):
+                canonical = matchers.canonical(tier)
+                resolved.append(canonical)
+                names.append(canonical)
+            elif isinstance(tier, MatchFunction):
+                resolved.append(tier)
+                names.append(tier.name)
+            else:
+                raise ConfigError(
+                    "cascade tiers must be matcher registry names or "
+                    f"MatchFunction instances, got {tier!r}"
+                )
+        self.tiers = tuple(resolved)
+        if not self.tiers and self.expensive is None:
+            raise ConfigError("a match stage needs at least one tier")
+        normalized = [normalize(name) for name in names]
+        if len(set(normalized)) != len(normalized):
+            raise ConfigError(
+                f"duplicate cascade tiers in {names}; each tier may "
+                "appear once"
+            )
+        if self.expensive is not None:
+            if isinstance(self.expensive, str):
+                self.expensive = matchers.canonical(self.expensive)
+            elif not callable(self.expensive):
+                raise ConfigError(
+                    "expensive must be a matcher registry name, a "
+                    "MatchFunction or a (a, b) -> float callable, got "
+                    f"{self.expensive!r}"
+                )
+        if self.expensive_budget is not None:
+            if self.expensive is None:
+                raise ConfigError(
+                    "expensive_budget given without an expensive hook"
+                )
+            if (
+                not isinstance(self.expensive_budget, int)
+                or isinstance(self.expensive_budget, bool)
+                or self.expensive_budget < 0
+            ):
+                raise ConfigError(
+                    "expensive_budget must be an int >= 0, got "
+                    f"{self.expensive_budget!r}"
+                )
+        known = set(normalized)
+        if self.expensive is not None:
+            known.add(normalize("expensive"))
+        for key, value in dict(self.thresholds).items():
+            if normalize(key) not in known:
+                raise ConfigError(
+                    f"threshold given for unknown tier {key!r}; tiers: "
+                    f"{names + (['expensive'] if self.expensive is not None else [])}"
+                )
+            _coerce_threshold(key, value)
+        for key, value in dict(self.params).items():
+            if normalize(key) not in set(normalized):
+                raise ConfigError(
+                    f"params given for unknown tier {key!r}; tiers: {names}"
+                )
+            if not isinstance(value, Mapping):
+                raise ConfigError(
+                    f"params for tier {key!r} must be a mapping of "
+                    f"constructor kwargs, got {value!r}"
+                )
+
+    def build(
+        self, ground_truth: Any = None, exhausted: str = "fallback"
+    ) -> Any:
+        """Construct the configured cascade (fit-time entry point).
+
+        ``ground_truth`` is injected into an ``oracle`` tier's params
+        when the spec names one without supplying its ground truth -
+        the same convenience :meth:`ERPipeline.fit` applies to a plain
+        oracle matcher stage.
+        """
+        from repro.matching.cascade import MatcherCascade
+
+        params = {name: dict(value) for name, value in self.params.items()}
+        if ground_truth is not None:
+            for tier in self.tiers:
+                if isinstance(tier, str) and normalize(tier) == normalize(
+                    "oracle"
+                ):
+                    params.setdefault(tier, {}).setdefault(
+                        "ground_truth", ground_truth
+                    )
+        return MatcherCascade(
+            list(self.tiers),
+            thresholds=dict(self.thresholds),
+            expensive=self.expensive,
+            expensive_budget=self.expensive_budget,
+            exhausted=exhausted,
+            params=params,
+        )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MatchConfig":
+        _reject_unknown_keys(
+            "match",
+            data,
+            ("tiers", "thresholds", "expensive", "expensive_budget", "params"),
+        )
+        payload = dict(data)
+        if "tiers" in payload:
+            payload["tiers"] = tuple(payload["tiers"])
+        return cls(**payload)
+
+
+@dataclass
 class BudgetConfig:
     """Emission budgets; any combination, first one hit stops the stream.
 
@@ -424,6 +563,7 @@ class PipelineConfig:
     meta: MetaBlockingConfig = field(default_factory=MetaBlockingConfig)
     method: MethodConfig = field(default_factory=MethodConfig)
     matcher: MatcherConfig | None = None
+    match: MatchConfig | None = None
     budget: BudgetConfig = field(default_factory=BudgetConfig)
     backend: str = "python"
     incremental: IncrementalConfig | None = None
@@ -433,6 +573,13 @@ class PipelineConfig:
 
     def __post_init__(self) -> None:
         self.backend = backends.canonical(self.backend)
+        if self.matcher is not None and self.match is not None:
+            raise ConfigError(
+                "a .matcher(...) stage and a .match(...) cascade stage "
+                "both own the match decision; configure exactly one "
+                "(a single matcher is the one-tier cascade "
+                ".match(cascade='<name>'))"
+            )
         if self.parallel is not None and self.backend != "numpy-parallel":
             raise ConfigError(
                 f"a parallel stage requires backend 'numpy-parallel', got "
@@ -453,6 +600,11 @@ class PipelineConfig:
             "meta": asdict(self.meta),
             "method": asdict(self.method),
             "matcher": None if self.matcher is None else asdict(self.matcher),
+            "match": (
+                None
+                if self.match is None
+                else {**asdict(self.match), "tiers": list(self.match.tiers)}
+            ),
             "budget": asdict(self.budget),
             "backend": self.backend,
             "incremental": (
@@ -479,6 +631,7 @@ class PipelineConfig:
                 "meta",
                 "method",
                 "matcher",
+                "match",
                 "budget",
                 "backend",
                 "incremental",
@@ -488,6 +641,7 @@ class PipelineConfig:
             ),
         )
         matcher = data.get("matcher")
+        match = data.get("match")
         incremental = data.get("incremental")
         parallel = data.get("parallel")
         storage = data.get("storage")
@@ -497,6 +651,7 @@ class PipelineConfig:
             meta=MetaBlockingConfig.from_dict(data.get("meta", {})),
             method=MethodConfig.from_dict(data.get("method", {})),
             matcher=None if matcher is None else MatcherConfig.from_dict(matcher),
+            match=None if match is None else MatchConfig.from_dict(match),
             budget=BudgetConfig.from_dict(data.get("budget", {})),
             backend=data.get("backend", "python"),
             incremental=(

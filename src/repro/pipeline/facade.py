@@ -17,14 +17,22 @@ from typing import Any
 
 from repro.core.comparisons import Comparison
 from repro.core.ground_truth import GroundTruth
+from repro.evaluation.metrics import DecisionQuality
 from repro.evaluation.progressive_recall import RecallCurve
 from repro.pipeline.builder import ERPipeline
-from repro.pipeline.resolver import Resolver
+from repro.pipeline.resolver import DecisionRecord, Resolver
 
 
 @dataclass
 class ResolutionResult:
-    """What one :func:`resolve` call produced."""
+    """What one :func:`resolve` call produced.
+
+    With a matching cascade (``match=...``), ``decisions`` holds the
+    per-comparison :class:`~repro.pipeline.resolver.DecisionRecord`
+    stream, ``clusters`` the transitively-closed entities, ``quality``
+    the decision precision/recall/F1 (ground truth permitting) and
+    ``cascade_stats`` the per-tier counters.
+    """
 
     pairs: list[Comparison] = field(default_factory=list)
     matches: set[tuple[int, int]] = field(default_factory=set)
@@ -32,6 +40,10 @@ class ResolutionResult:
     recall: float | None = None
     curve: RecallCurve | None = None
     resolver: Resolver | None = None
+    decisions: list[DecisionRecord] = field(default_factory=list)
+    clusters: list[list[int]] = field(default_factory=list)
+    quality: DecisionQuality | None = None
+    cascade_stats: "dict[str, Any] | None" = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         recall = "n/a" if self.recall is None else f"{self.recall:.3f}"
@@ -50,6 +62,10 @@ def resolve(
     target_recall: float | None = None,
     matcher: str | None = None,
     matcher_params: dict[str, Any] | None = None,
+    match: Any = None,
+    match_thresholds: dict[str, Any] | None = None,
+    expensive: Any = None,
+    expensive_budget: int | None = None,
     blocking: str = "token",
     purge: bool | float | None = True,
     filter_ratio: bool | float | None = 0.8,
@@ -78,6 +94,14 @@ def resolve(
     matcher:
         Optional match function name; without one, match bookkeeping
         falls back to the ground truth when available.
+    match, match_thresholds, expensive, expensive_budget:
+        Optional matching *cascade* (see :meth:`ERPipeline.match`):
+        ``match=True`` configures the stock
+        exact -> jaccard -> edit-distance tiers, a name or sequence of
+        names picks the tiers explicitly.  The stream is then *decided*
+        tier by tier: the result carries ``decisions``, ``clusters``,
+        ``quality`` (with a ground truth) and ``cascade_stats``.
+        Mutually exclusive with ``matcher``.
     blocking, purge, filter_ratio, weighting:
         Substrate knobs for the equality-based methods.
     pruning, pruning_params:
@@ -167,9 +191,26 @@ def resolve(
         raise ValueError(
             "matcher_params given without a matcher; pass e.g. matcher='jaccard'"
         )
+    if match is not None and match is not False:
+        pipeline.match(
+            None if match is True else match,
+            thresholds=match_thresholds,
+            expensive=expensive,
+            expensive_budget=expensive_budget,
+        )
+    elif match_thresholds or expensive is not None or expensive_budget is not None:
+        raise ValueError(
+            "cascade knobs given without a cascade; pass e.g. match=True"
+        )
     resolver = pipeline.fit(data, ground_truth=ground_truth)
 
-    pairs = list(resolver.stream())
+    decisions: list[DecisionRecord] = []
+    if resolver.config.match is not None:
+        for record in resolver.resolve_stream(decide=True):
+            decisions.append(record)  # type: ignore[arg-type]
+        pairs = [record.comparison for record in decisions]
+    else:
+        pairs = list(resolver.stream())
     progress = resolver.progress()
     curve = (
         resolver.partial_curve() if resolver.ground_truth is not None else None
@@ -181,4 +222,12 @@ def resolve(
         recall=progress.recall,
         curve=curve,
         resolver=resolver,
+        decisions=decisions,
+        clusters=resolver.clusters() if decisions else [],
+        quality=(
+            resolver.decision_quality()
+            if decisions and resolver.ground_truth is not None
+            else None
+        ),
+        cascade_stats=resolver.cascade_stats(),
     )

@@ -17,15 +17,17 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable, Iterator
+from typing import TYPE_CHECKING, Any, Callable, Iterator, NamedTuple
 
 from repro.blocking.base import BlockCollection
 from repro.blocking.workflow import blocking_workflow
 from repro.core.comparisons import Comparison
 from repro.core.ground_truth import GroundTruth
 from repro.core.profiles import ProfileStore
-from repro.errors import SessionClosed
+from repro.errors import ConfigError, SessionClosed
+from repro.evaluation.metrics import DecisionQuality, decision_quality
 from repro.evaluation.progressive_recall import RecallCurve, _drive_progressive
+from repro.matching.cascade import MatcherCascade, TierDecision
 from repro.matching.match_functions import MatchFunction
 from repro.progressive.base import ProgressiveMethod
 from repro.registry import matchers, normalize, progressive_methods
@@ -37,6 +39,26 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 # An oracle hook: pair -> is-match decision, used for recall bookkeeping
 # and target-recall early stopping.
 OracleHook = Callable[[int, int], bool]
+
+#: Decide-mode chunk: large enough to amortize the vectorized tier pass,
+#: small enough to keep the stream responsive.
+DECISION_BATCH = 1024
+
+
+class DecisionRecord(NamedTuple):
+    """One decided comparison from :meth:`Resolver.resolve_stream`."""
+
+    comparison: Comparison
+    decision: bool
+    tier: str
+    similarity: float
+
+
+class EvaluationReport(NamedTuple):
+    """The ranking curve and the decision quality of one evaluation run."""
+
+    curve: RecallCurve
+    quality: DecisionQuality
 
 
 @dataclass
@@ -131,6 +153,10 @@ class Resolver:
         self._backend_instance: "object | None" = None
         self.method: ProgressiveMethod | None = None
         self.matcher: MatchFunction | None = None
+        self.cascade: MatcherCascade | None = None
+        self._batcher: "Any | None" = None
+        self._batcher_built = False
+        self._decided = 0
         self._emitter: Iterator[Comparison] | None = None
         self._emitted = 0
         self._exhausted = False
@@ -226,6 +252,7 @@ class Resolver:
         if backend is not None:
             backend.close()  # type: ignore[attr-defined]
         self._substrate = None
+        self._batcher = None
 
     def __enter__(self) -> "Resolver":
         return self
@@ -395,6 +422,23 @@ class Resolver:
             kwargs.setdefault("ground_truth", self.ground_truth)
         return matchers.build(spec.name, **kwargs)
 
+    def _build_cascade(self) -> MatcherCascade | None:
+        """The configured decision cascade, or ``None`` without a stage.
+
+        A served session gets the strict expensive-budget mode: a spent
+        call budget *rejects* (``BudgetExceeded`` reason
+        ``"expensive-calls"``) instead of deciding at the previous
+        tier - the admission-control contract of :mod:`repro.service`.
+        """
+        spec = self.config.match
+        if spec is None:
+            return None
+        exhausted = "error" if self.config.service is not None else "fallback"
+        cascade: MatcherCascade = spec.build(
+            ground_truth=self.ground_truth, exhausted=exhausted
+        )
+        return cascade
+
     # -- lifecycle -----------------------------------------------------------
 
     @property
@@ -408,6 +452,8 @@ class Resolver:
         if self.method is None:
             self.method = self.build_method()
             self.matcher = self._build_matcher()
+            if self.cascade is None:
+                self.cascade = self._build_cascade()
         self.method.initialize()
         if self._emitter is None:
             self._emitter = self._emitter_for(self.method)
@@ -425,7 +471,11 @@ class Resolver:
         if self.method is not None:
             self.method = self.build_method()
             self.method.initialize()
+            self.cascade = self._build_cascade()
             self._emitter = self._emitter_for(self.method)
+        self._batcher = None
+        self._batcher_built = False
+        self._decided = 0
         self._emitted = 0
         self._exhausted = False
         self._started_at = None
@@ -469,7 +519,7 @@ class Resolver:
             if self.ground_truth.is_match(*pair):
                 self._true_found.add(pair)
                 self._hit_positions.append(self._emitted)
-                if self.matcher is None:
+                if self.matcher is None and self.config.match is None:
                     self._matched_pairs.add(pair)
 
     def stream(self) -> Iterator[Comparison]:
@@ -507,6 +557,236 @@ class Resolver:
             if len(batch) >= n:
                 break
         return batch
+
+    # -- the decision layer --------------------------------------------------
+
+    def _decision_cascade(self) -> MatcherCascade:
+        """The session's live cascade (building it on first use).
+
+        Built without touching the method (probe-style consumers must
+        not pay a method rebuild); :meth:`initialize` later adopts this
+        instance instead of rebuilding it.  A plain ``.matcher(...)``
+        stage keeps working: it is wrapped as a single-tier cascade
+        deciding at the matcher's own threshold.
+        """
+        self._check_open()
+        if self.cascade is None:
+            self.cascade = self._build_cascade()
+        if self.cascade is not None:
+            return self.cascade
+        if self.matcher is None:
+            self.matcher = self._build_matcher()
+        if self.matcher is not None:
+            self.cascade = MatcherCascade.from_matcher(self.matcher)
+            return self.cascade
+        raise ConfigError(
+            "deciding comparisons needs a decision stage; configure "
+            ".match(...) (or a single-matcher .matcher(...) stage) on the "
+            "pipeline"
+        )
+
+    def _batch_matcher(self) -> "Any | None":
+        """The engine's vectorized tier-0/tier-1 evaluator, if usable.
+
+        Requires a vectorized session substrate (the numpy /
+        numpy-parallel token workflow) and a cascade whose leading tiers
+        are the stock batchable implementations; everything else decides
+        through the pure-Python tier loop.  The batch path reuses the
+        session backend's worker pool, so fan-out follows the
+        ``.parallel(...)`` stage.
+        """
+        if self._batcher_built:
+            return self._batcher
+        self._batcher_built = True
+        cascade = self.cascade
+        if cascade is None or cascade.batchable_prefix() < 1:
+            return None
+        substrate = self._session_substrate()
+        if substrate is None or not getattr(substrate, "vectorized", False):
+            return None
+        from repro.engine import get_backend
+        from repro.engine.matching import CascadeBatchMatcher
+
+        backend = get_backend(self._method_backend())
+        pool = backend.pool() if hasattr(backend, "pool") else None
+        batcher = CascadeBatchMatcher(
+            substrate,
+            cascade,
+            self.store,  # type: ignore[arg-type]
+            pool=pool,
+            shards=getattr(backend, "shards", None),
+        )
+        self._batcher = batcher if batcher.eligible else None
+        return self._batcher
+
+    def _decide_buffer(
+        self,
+        buffer: list[Comparison],
+        cascade: MatcherCascade,
+        batcher: "Any | None",
+    ) -> Iterator[DecisionRecord]:
+        if batcher is not None:
+            verdicts: list[TierDecision] = batcher.decide_batch(buffer)
+        else:
+            verdicts = [
+                cascade.decide(self.store[c.i], self.store[c.j])
+                for c in buffer
+            ]
+        for comparison, verdict in zip(buffer, verdicts):
+            self._decided += 1
+            if verdict.is_match:
+                self._matched_pairs.add(comparison.pair)
+            yield DecisionRecord(
+                comparison, verdict.is_match, verdict.tier, verdict.similarity
+            )
+
+    def resolve_stream(
+        self, decide: bool = False, batch_size: int = DECISION_BATCH
+    ) -> "Iterator[Comparison | DecisionRecord]":
+        """The session stream, optionally decided by the cascade.
+
+        ``decide=False`` is exactly :meth:`stream` - the ranked
+        comparisons, untouched.  ``decide=True`` routes the same stream
+        through the decision layer and yields
+        :class:`DecisionRecord` tuples ``(comparison, decision, tier,
+        similarity)``; on a vectorized backend the cheap tiers are
+        evaluated in batches of ``batch_size`` straight off the session
+        substrate's interned token postings.  Budgets, pausability and
+        bookkeeping are shared with every other consumer of the session.
+        """
+        if not decide:
+            yield from self.stream()
+            return
+        cascade = self._decision_cascade()
+        batcher = self._batch_matcher()
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size!r}")
+        buffer: list[Comparison] = []
+        for comparison in self.stream():
+            buffer.append(comparison)
+            if len(buffer) >= batch_size:
+                yield from self._decide_buffer(buffer, cascade, batcher)
+                buffer = []
+        if buffer:
+            yield from self._decide_buffer(buffer, cascade, batcher)
+
+    def decisions(self) -> Iterator[DecisionRecord]:
+        """Decided comparisons, best-first (see :meth:`resolve_stream`)."""
+        for record in self.resolve_stream(decide=True):
+            yield record  # type: ignore[misc]
+
+    def clusters(self, include_singletons: bool = False) -> list[list[int]]:
+        """Transitively-closed entity clusters over the confirmed matches.
+
+        Union-find over every pair in :attr:`matches` (so consume the
+        stream - e.g. drain :meth:`decisions` - first).  Returns sorted
+        id lists, sorted by their smallest member;
+        ``include_singletons`` appends one-profile clusters for every
+        store profile no match touched.
+        """
+        parent: dict[int, int] = {}
+
+        def find(node: int) -> int:
+            root = node
+            while parent.get(root, root) != root:
+                root = parent[root]
+            while parent.get(node, node) != node:
+                parent[node], node = root, parent[node]
+            return root
+
+        members: set[int] = set()
+        for i, j in sorted(self._matched_pairs):
+            members.update((i, j))
+            root_i, root_j = find(i), find(j)
+            if root_i != root_j:
+                parent[max(root_i, root_j)] = min(root_i, root_j)
+        groups: dict[int, list[int]] = {}
+        for node in sorted(members):
+            groups.setdefault(find(node), []).append(node)
+        result = [sorted(group) for group in groups.values()]
+        if include_singletons:
+            result.extend(
+                [pid]
+                for pid in range(len(self.store))
+                if pid not in members
+            )
+        return sorted(result)
+
+    def cascade_stats(self) -> "dict[str, Any] | None":
+        """JSON-able per-tier cascade counters (None without a cascade)."""
+        return None if self.cascade is None else self.cascade.stats()
+
+    def decision_quality(
+        self, ground_truth: GroundTruth | None = None
+    ) -> DecisionQuality:
+        """Precision/recall/F1 of the matches confirmed *so far*.
+
+        Grades this session's current :attr:`matches` against the ground
+        truth - consume the decision stream first.  For the
+        fresh-run protocol use :meth:`evaluate_decisions`.
+        """
+        truth = ground_truth if ground_truth is not None else self.ground_truth
+        if truth is None:
+            raise ValueError("decision_quality requires a ground truth")
+        return decision_quality(
+            self._matched_pairs,
+            truth,
+            decided=self._decided if self._decided else None,
+            by_tier=self._by_tier(),
+        )
+
+    def _by_tier(self) -> dict[str, int]:
+        if self.cascade is None:
+            return {}
+        return {
+            stats["name"]: stats["decided"]
+            for stats in self.cascade.stats()["tiers"]
+        }
+
+    def evaluate_decisions(
+        self, ground_truth: GroundTruth | None = None
+    ) -> DecisionQuality:
+        """Decision-based precision/recall/F1 on a fresh emission run.
+
+        Mirrors :meth:`evaluate`'s protocol: a new method instance and a
+        new cascade are built from the same spec and the full (pruned,
+        comparison-budgeted) stream is decided through the pure-Python
+        tier loop - this session's own emitter and counters are left
+        untouched.
+        """
+        truth = ground_truth if ground_truth is not None else self.ground_truth
+        if truth is None:
+            raise ValueError("evaluate_decisions requires a ground truth")
+        cascade = self._build_cascade()
+        if cascade is None:
+            matcher = self._build_matcher()
+            if matcher is None:
+                raise ConfigError(
+                    "evaluate_decisions needs a decision stage; configure "
+                    ".match(...) or .matcher(...) on the pipeline"
+                )
+            cascade = MatcherCascade.from_matcher(matcher)
+        method = self.build_method()
+        method.initialize()
+        budget = self.config.budget.comparisons
+        positives: set[tuple[int, int]] = set()
+        decided = 0
+        for comparison in self._emitter_for(method):
+            if budget is not None and decided >= budget:
+                break
+            verdict = cascade.decide(
+                self.store[comparison.i], self.store[comparison.j]
+            )
+            decided += 1
+            if verdict.is_match:
+                positives.add(comparison.pair)
+        by_tier = {
+            stats["name"]: stats["decided"]
+            for stats in cascade.stats()["tiers"]
+        }
+        return decision_quality(
+            positives, truth, decided=decided, by_tier=by_tier
+        )
 
     # -- results ------------------------------------------------------------
 
@@ -554,7 +834,8 @@ class Resolver:
         ground_truth: GroundTruth | None = None,
         max_ec_star: float = 30.0,
         stop_at_full_recall: bool = True,
-    ) -> RecallCurve:
+        decisions: bool = False,
+    ) -> "RecallCurve | EvaluationReport":
         """The paper's progressiveness protocol on a fresh emission run.
 
         A new method instance is built from the same config (emission in
@@ -562,6 +843,12 @@ class Resolver:
         session's stream would bias the curve), then driven by
         :func:`run_progressive` with ground-truth decisions - byte-for-byte
         the legacy ``build_method`` + ``run_progressive`` path.
+
+        ``decisions=True`` additionally runs the decision protocol
+        (:meth:`evaluate_decisions`) and returns an
+        :class:`EvaluationReport` pairing the :class:`RecallCurve`
+        (PC/PQ-style ranking quality) with the cascade's
+        precision/recall/F1.
         """
         truth = ground_truth if ground_truth is not None else self.ground_truth
         if truth is None:
@@ -571,12 +858,17 @@ class Resolver:
         if self.config.meta.pruning is not None:
             # the protocol drives the *pruned* emission, as stream() does
             stream = _PrunedMethodView(method, self._emitter_for(method))
-        return _drive_progressive(
+        curve = _drive_progressive(
             stream,
             truth,
             max_ec_star=max_ec_star,
             stop_at_full_recall=stop_at_full_recall,
             dataset=self.dataset_name,
+        )
+        if not decisions:
+            return curve
+        return EvaluationReport(
+            curve=curve, quality=self.evaluate_decisions(truth)
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -16,7 +16,7 @@ GET    ``/sessions/{name}``               one session's metrics
 DELETE ``/sessions/{name}``               close and forget the session
 POST   ``/sessions/{name}/ingest``        ``{"records", "sources"?}``
 POST   ``/sessions/{name}/probe``         ``{"records", "sources"?,
-                                          "workers"?}``
+                                          "workers"?, "decide"?}``
 POST   ``/sessions/{name}/stream``        ``{"limit"}`` - next batch of the
                                           globally ranked stream
 POST   ``/sessions/{name}/snapshot``      ``{"path"?}``
@@ -28,7 +28,9 @@ resolve inside it - socket clients can never point the process at
 arbitrary filesystem locations.  Free-form paths remain available to
 trusted in-process callers through :class:`SessionManager` directly.
 
-Comparisons travel as ``[i, j, weight]`` triples.  Errors map onto
+Comparisons travel as ``[i, j, weight]`` triples; decided probe results
+(``"decide": true``) as ``[i, j, weight, decision, tier, similarity]``
+rows.  Errors map onto
 status codes by *type*, and the body always carries ``{"error": ...}``
 (:class:`~repro.errors.BudgetExceeded` adds its machine-readable
 ``"reason"`` token):
@@ -78,6 +80,21 @@ _STATUS_TEXT = {
 
 def _triples(ranked: list[Comparison]) -> list[list[Any]]:
     return [[c.i, c.j, c.weight] for c in ranked]
+
+
+def _decided(records: list[Any]) -> list[list[Any]]:
+    """Decision records as ``[i, j, weight, decision, tier, similarity]``."""
+    return [
+        [
+            r.comparison.i,
+            r.comparison.j,
+            r.comparison.weight,
+            r.decision,
+            r.tier,
+            r.similarity,
+        ]
+        for r in records
+    ]
 
 
 class ServiceApp:
@@ -202,11 +219,17 @@ class ServiceApp:
             )
             return {"comparisons": _triples(ranked)}
         if action == "probe":
+            decide = body.get("decide", False)
+            if not isinstance(decide, bool):
+                raise ConfigError(f"'decide' must be a bool, got {decide!r}")
             scored = await session.probe(
                 _records(body),
                 sources=body.get("sources"),
                 workers=body.get("workers"),
+                decide=decide,
             )
+            if decide:
+                return {"results": [_decided(ranked) for ranked in scored]}
             return {"results": [_triples(ranked) for ranked in scored]}
         if action == "stream":
             limit = body.get("limit", 100)

@@ -169,7 +169,7 @@ class ServiceSession:
                 )
             self._pending += 1
 
-    def _truncate(self, ranked: list[Comparison]) -> list[Comparison]:
+    def _truncate(self, ranked: list[_T]) -> list[_T]:
         cap = self.config.request_budget.comparisons
         return ranked if cap is None else ranked[:cap]
 
@@ -225,15 +225,32 @@ class ServiceSession:
         records: Iterable[Record],
         sources: Iterable[int] | None = None,
         workers: int | None = None,
-    ) -> list[list[Comparison]]:
-        """Read-only probes for a batch (the ``resolve_many`` fan-out)."""
+        decide: bool = False,
+    ) -> "list[list[Any]]":
+        """Read-only probes for a batch (the ``resolve_many`` fan-out).
+
+        ``decide=True`` runs the session's matching cascade over every
+        scored pair and returns
+        :class:`~repro.pipeline.resolver.DecisionRecord` lists.  Served
+        sessions run the cascade in strict budget mode: a spent
+        expensive-tier call budget *rejects* the request
+        (:class:`~repro.errors.BudgetExceeded`, reason
+        ``"expensive-calls"``) like any other admission failure.
+        """
         items = list(records)
 
-        def work() -> list[list[Comparison]]:
+        def work() -> "list[list[Any]]":
             started = time.monotonic()
-            scored = self.resolver.resolve_many(
-                items, sources=sources, workers=workers
-            )
+            try:
+                scored = self.resolver.resolve_many(
+                    items, sources=sources, workers=workers, decide=decide
+                )
+            except BudgetExceeded:
+                # The cascade's expensive-tier admission: counted with
+                # the service rejections, surfaced with its own reason.
+                with self._stats_lock:
+                    self._metrics.rejected += 1
+                raise
             capped = [self._truncate(ranked) for ranked in scored]
             with self._stats_lock:
                 self._metrics.record_probe(
@@ -307,6 +324,7 @@ class ServiceSession:
                 "probe_latency_p95": _percentile(latencies, 0.95),
                 "scorer_rebuilds": getattr(scorer, "rebuilds", None),
                 "scorer_delta_updates": getattr(scorer, "delta_updates", None),
+                "cascade": self.resolver.cascade_stats(),
                 "snapshots": stats.snapshots,
                 "snapshot_age_seconds": snapshot_age,
             }

@@ -69,3 +69,15 @@ def test_k_parameter_without_takes_k_is_flagged():
 
 def test_live_registries_are_clean():
     assert not list(registry_metadata.check_project())
+
+
+def test_live_matchers_registry_is_covered_and_clean():
+    # The matching decision layer registers through the same registry
+    # machinery, so the rule walks it like any other: the cascade and
+    # every stock matcher must be live entries, alias- and takes_k-clean.
+    from repro.registry import matchers
+
+    names = matchers.names()
+    for expected in ("cascade", "exact", "jaccard", "edit-distance", "oracle"):
+        assert expected in names
+    assert not violations_of(matchers)

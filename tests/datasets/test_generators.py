@@ -149,3 +149,22 @@ class TestHeterogeneousCharacteristics:
     def test_freebase_mean_pairs(self):
         stats = load_dataset("freebase", scale=0.0005).stats()
         assert stats["mean_pairs"] == pytest.approx(24.54, abs=4.0)
+
+
+class TestAddressableByName:
+    """Heterogeneous workloads resolve end to end by registry name."""
+
+    def test_resolve_heterogeneous_by_name_with_cascade(self):
+        from repro import resolve
+
+        result = resolve("movies", method="PPS", budget=150, match=True)
+        assert result.emitted == 150
+        assert len(result.decisions) == 150
+        assert result.resolver.store.er_type is ERType.CLEAN_CLEAN
+        tiers = [tier["name"] for tier in result.cascade_stats["tiers"]]
+        assert tiers == ["exact", "jaccard", "edit-distance"]
+
+    def test_bench_suite_scales_cover_every_registered_dataset(self):
+        from benchmarks._shared import BENCH_SCALES
+
+        assert set(BENCH_SCALES) | {"synthetic"} == set(list_datasets())

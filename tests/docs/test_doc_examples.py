@@ -29,6 +29,7 @@ def test_documentation_is_present():
         "api.md",
         "benchmarks.md",
         "incremental.md",
+        "matching.md",
         "metablocking.md",
         "migration.md",
         "parallel.md",
